@@ -1,0 +1,181 @@
+// Package bpred implements the dynamic branch predictors used by the timing
+// models and by the Fig. 9 experiment: a bimodal predictor, a global-history
+// (gshare) predictor, and the hybrid of the two with a chooser — the same
+// predictor family the paper configures in PTLSim ("a hybrid branch
+// predictor with a bimodal component along with a history-based component").
+package bpred
+
+// Predictor is a dynamic branch direction predictor.
+type Predictor interface {
+	// Predict returns the predicted direction for the branch at pc.
+	Predict(pc uint64) bool
+	// Update trains the predictor with the actual outcome.
+	Update(pc uint64, taken bool)
+	// Name identifies the predictor in reports.
+	Name() string
+}
+
+// counter is a 2-bit saturating counter; values 0..3, taken when >= 2.
+type counter uint8
+
+func (c counter) taken() bool { return c >= 2 }
+
+func (c counter) train(taken bool) counter {
+	if taken {
+		if c < 3 {
+			return c + 1
+		}
+		return c
+	}
+	if c > 0 {
+		return c - 1
+	}
+	return c
+}
+
+// Bimodal is a table of 2-bit counters indexed by PC.
+type Bimodal struct {
+	table []counter
+	mask  uint64
+}
+
+// NewBimodal builds a bimodal predictor with 2^logSize counters,
+// initialized weakly taken.
+func NewBimodal(logSize int) *Bimodal {
+	n := 1 << logSize
+	t := make([]counter, n)
+	for i := range t {
+		t[i] = 2
+	}
+	return &Bimodal{table: t, mask: uint64(n - 1)}
+}
+
+// Predict implements Predictor.
+func (b *Bimodal) Predict(pc uint64) bool { return b.table[pc&b.mask].taken() }
+
+// Update implements Predictor.
+func (b *Bimodal) Update(pc uint64, taken bool) {
+	i := pc & b.mask
+	b.table[i] = b.table[i].train(taken)
+}
+
+// Name implements Predictor.
+func (b *Bimodal) Name() string { return "bimodal" }
+
+// GShare xors a global history register into the PC index.
+type GShare struct {
+	table   []counter
+	mask    uint64
+	history uint64
+	histLen uint
+}
+
+// NewGShare builds a gshare predictor with 2^logSize counters and histBits
+// of global history.
+func NewGShare(logSize, histBits int) *GShare {
+	n := 1 << logSize
+	t := make([]counter, n)
+	for i := range t {
+		t[i] = 2
+	}
+	return &GShare{table: t, mask: uint64(n - 1), histLen: uint(histBits)}
+}
+
+func (g *GShare) index(pc uint64) uint64 { return (pc ^ g.history) & g.mask }
+
+// Predict implements Predictor.
+func (g *GShare) Predict(pc uint64) bool { return g.table[g.index(pc)].taken() }
+
+// Update implements Predictor.
+func (g *GShare) Update(pc uint64, taken bool) {
+	i := g.index(pc)
+	g.table[i] = g.table[i].train(taken)
+	g.history <<= 1
+	if taken {
+		g.history |= 1
+	}
+	g.history &= (1 << g.histLen) - 1
+}
+
+// Name implements Predictor.
+func (g *GShare) Name() string { return "gshare" }
+
+// Hybrid combines a bimodal and a gshare component with a per-PC chooser
+// (a McFarling-style tournament predictor).
+type Hybrid struct {
+	bimodal *Bimodal
+	gshare  *GShare
+	chooser []counter // >= 2 selects gshare
+	mask    uint64
+}
+
+// NewHybrid builds the tournament predictor used in the paper's evaluation.
+func NewHybrid(logSize, histBits int) *Hybrid {
+	n := 1 << logSize
+	ch := make([]counter, n)
+	for i := range ch {
+		ch[i] = 2
+	}
+	return &Hybrid{
+		bimodal: NewBimodal(logSize),
+		gshare:  NewGShare(logSize, histBits),
+		chooser: ch,
+		mask:    uint64(n - 1),
+	}
+}
+
+// Predict implements Predictor.
+func (h *Hybrid) Predict(pc uint64) bool {
+	if h.chooser[pc&h.mask].taken() {
+		return h.gshare.Predict(pc)
+	}
+	return h.bimodal.Predict(pc)
+}
+
+// Update implements Predictor.
+func (h *Hybrid) Update(pc uint64, taken bool) {
+	pb := h.bimodal.Predict(pc)
+	pg := h.gshare.Predict(pc)
+	if pb != pg {
+		i := pc & h.mask
+		h.chooser[i] = h.chooser[i].train(pg == taken)
+	}
+	h.bimodal.Update(pc, taken)
+	h.gshare.Update(pc, taken)
+}
+
+// Name implements Predictor.
+func (h *Hybrid) Name() string { return "hybrid" }
+
+// DefaultHybrid returns the evaluation predictor configuration: 4K-entry
+// tables with 12 bits of global history.
+func DefaultHybrid() *Hybrid { return NewHybrid(12, 12) }
+
+// Stats measures a predictor over a branch stream.
+type Stats struct {
+	Lookups uint64
+	Correct uint64
+}
+
+// Accuracy returns the fraction of correct predictions (1.0 when idle).
+func (s Stats) Accuracy() float64 {
+	if s.Lookups == 0 {
+		return 1
+	}
+	return float64(s.Correct) / float64(s.Lookups)
+}
+
+// Meter wraps a predictor and scores its predictions as it trains.
+type Meter struct {
+	P Predictor
+	S Stats
+}
+
+// Observe predicts, scores, and trains on one executed branch.
+func (m *Meter) Observe(pc uint64, taken bool) {
+	m.S.Lookups++
+	if m.P.Predict(pc) == taken {
+		m.S.Correct++
+	}
+	m.P.Update(pc, taken)
+}

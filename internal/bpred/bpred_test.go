@@ -1,0 +1,146 @@
+package bpred
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestBimodalLearnsBias(t *testing.T) {
+	m := &Meter{P: NewBimodal(10)}
+	for i := 0; i < 1000; i++ {
+		m.Observe(0x40, true)
+	}
+	if acc := m.S.Accuracy(); acc < 0.99 {
+		t.Errorf("always-taken branch accuracy = %.3f, want >0.99", acc)
+	}
+}
+
+func TestBimodalMostlyTaken(t *testing.T) {
+	// 90% taken: bimodal should approach 90% accuracy.
+	rng := rand.New(rand.NewSource(1))
+	m := &Meter{P: NewBimodal(10)}
+	for i := 0; i < 20000; i++ {
+		m.Observe(0x40, rng.Float64() < 0.9)
+	}
+	if acc := m.S.Accuracy(); acc < 0.85 || acc > 0.95 {
+		t.Errorf("90%%-taken accuracy = %.3f, want ≈0.9", acc)
+	}
+}
+
+func TestGShareLearnsPattern(t *testing.T) {
+	// Alternating T/N/T/N defeats bimodal but not gshare.
+	bi := &Meter{P: NewBimodal(10)}
+	gs := &Meter{P: NewGShare(10, 8)}
+	for i := 0; i < 10000; i++ {
+		taken := i%2 == 0
+		bi.Observe(0x40, taken)
+		gs.Observe(0x40, taken)
+	}
+	if acc := gs.S.Accuracy(); acc < 0.98 {
+		t.Errorf("gshare on alternating pattern = %.3f, want >0.98", acc)
+	}
+	if biAcc, gsAcc := bi.S.Accuracy(), gs.S.Accuracy(); gsAcc <= biAcc {
+		t.Errorf("gshare (%.3f) should beat bimodal (%.3f) on a periodic pattern", gsAcc, biAcc)
+	}
+}
+
+func TestGShareLearnsLongerPattern(t *testing.T) {
+	gs := &Meter{P: NewGShare(12, 12)}
+	pattern := []bool{true, true, false, true, false, false, true, false}
+	for i := 0; i < 40000; i++ {
+		gs.Observe(0x80, pattern[i%len(pattern)])
+	}
+	if acc := gs.S.Accuracy(); acc < 0.95 {
+		t.Errorf("gshare on period-8 pattern = %.3f, want >0.95", acc)
+	}
+}
+
+func TestHybridAtLeastAsGoodAsComponentsOnMix(t *testing.T) {
+	// A mix of biased branches and a patterned branch: the tournament
+	// predictor should not lose badly to either component.
+	run := func(p Predictor) float64 {
+		m := &Meter{P: p}
+		rng := rand.New(rand.NewSource(7))
+		for i := 0; i < 60000; i++ {
+			m.Observe(0x100, true)                 // always taken
+			m.Observe(0x200, i%2 == 0)             // alternating
+			m.Observe(0x300, rng.Float64() < 0.95) // strongly biased
+		}
+		return m.S.Accuracy()
+	}
+	hy := run(NewHybrid(12, 12))
+	bi := run(NewBimodal(12))
+	if hy < bi-0.01 {
+		t.Errorf("hybrid (%.4f) notably worse than bimodal (%.4f)", hy, bi)
+	}
+	if hy < 0.9 {
+		t.Errorf("hybrid accuracy %.4f too low on easy mix", hy)
+	}
+}
+
+func TestPredictorsAreDeterministic(t *testing.T) {
+	mk := []func() Predictor{
+		func() Predictor { return NewBimodal(8) },
+		func() Predictor { return NewGShare(8, 6) },
+		func() Predictor { return NewHybrid(8, 6) },
+	}
+	for _, f := range mk {
+		a, b := &Meter{P: f()}, &Meter{P: f()}
+		rng1 := rand.New(rand.NewSource(3))
+		rng2 := rand.New(rand.NewSource(3))
+		for i := 0; i < 5000; i++ {
+			a.Observe(uint64(i%17)*8, rng1.Float64() < 0.6)
+			b.Observe(uint64(i%17)*8, rng2.Float64() < 0.6)
+		}
+		if a.S != b.S {
+			t.Errorf("%s: nondeterministic stats %+v vs %+v", a.P.Name(), a.S, b.S)
+		}
+	}
+}
+
+func TestCounterSaturation(t *testing.T) {
+	c := counter(0)
+	for i := 0; i < 10; i++ {
+		c = c.train(false)
+	}
+	if c != 0 {
+		t.Errorf("counter underflow: %d", c)
+	}
+	for i := 0; i < 10; i++ {
+		c = c.train(true)
+	}
+	if c != 3 {
+		t.Errorf("counter did not saturate high: %d", c)
+	}
+	if !c.taken() {
+		t.Error("saturated counter should predict taken")
+	}
+}
+
+func TestAliasingDegradesSmallTables(t *testing.T) {
+	// Two branches with opposite bias aliasing into one entry should hurt
+	// a 1-entry bimodal relative to a big one.
+	small := &Meter{P: NewBimodal(0)} // single counter
+	big := &Meter{P: NewBimodal(10)}
+	for i := 0; i < 5000; i++ {
+		small.Observe(0, true)
+		small.Observe(1, false)
+		big.Observe(0, true)
+		big.Observe(1<<6, false)
+	}
+	if small.S.Accuracy() >= big.S.Accuracy() {
+		t.Errorf("aliased table (%.3f) should underperform large table (%.3f)",
+			small.S.Accuracy(), big.S.Accuracy())
+	}
+}
+
+func TestStatsAccuracyEdgeCases(t *testing.T) {
+	var s Stats
+	if s.Accuracy() != 1 {
+		t.Error("idle accuracy should be 1")
+	}
+	s = Stats{Lookups: 4, Correct: 1}
+	if s.Accuracy() != 0.25 {
+		t.Errorf("accuracy = %v, want 0.25", s.Accuracy())
+	}
+}

@@ -1,0 +1,198 @@
+// Package cache implements set-associative LRU data-cache simulation.
+//
+// The paper measures per-access hit/miss ratios by simulating a cache during
+// profiling (citing Hill & Smith's single-pass multi-configuration
+// evaluation); MultiSim provides exactly that: one pass over the address
+// stream updates a whole range of cache configurations, which regenerates
+// the 1KB–32KB sweeps of Figs. 7 and 8.
+package cache
+
+import "fmt"
+
+// Config describes one cache.
+type Config struct {
+	Name     string
+	Size     int // total bytes
+	LineSize int // bytes per line
+	Assoc    int // ways per set
+}
+
+// Validate checks structural soundness.
+func (c Config) Validate() error {
+	if c.Size <= 0 || c.LineSize <= 0 || c.Assoc <= 0 {
+		return fmt.Errorf("cache: non-positive geometry %+v", c)
+	}
+	if c.Size%(c.LineSize*c.Assoc) != 0 {
+		return fmt.Errorf("cache: size %d not divisible by line*assoc", c.Size)
+	}
+	if c.LineSize&(c.LineSize-1) != 0 {
+		return fmt.Errorf("cache: line size %d not a power of two", c.LineSize)
+	}
+	return nil
+}
+
+// Stats accumulates access counts.
+type Stats struct {
+	Accesses uint64
+	Misses   uint64
+}
+
+// HitRate returns the fraction of accesses that hit (1.0 when idle).
+func (s Stats) HitRate() float64 {
+	if s.Accesses == 0 {
+		return 1
+	}
+	return 1 - float64(s.Misses)/float64(s.Accesses)
+}
+
+// MissRate returns the fraction of accesses that missed.
+func (s Stats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+type line struct {
+	tag   uint64
+	valid bool
+	used  uint64 // LRU timestamp
+}
+
+// Cache is a set-associative LRU cache model. It tracks presence only (no
+// data), which is all the framework needs.
+type Cache struct {
+	cfg      Config
+	sets     [][]line
+	setShift uint
+	setMask  uint64
+	tick     uint64
+	Stats    Stats
+}
+
+// New builds a cache; it panics on invalid geometry (configs are
+// programmer-supplied constants).
+func New(cfg Config) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	nsets := cfg.Size / (cfg.LineSize * cfg.Assoc)
+	if nsets&(nsets-1) != 0 {
+		panic(fmt.Sprintf("cache: set count %d not a power of two", nsets))
+	}
+	c := &Cache{cfg: cfg, sets: make([][]line, nsets)}
+	for i := range c.sets {
+		c.sets[i] = make([]line, cfg.Assoc)
+	}
+	c.setShift = uint(log2(cfg.LineSize))
+	c.setMask = uint64(nsets - 1)
+	return c
+}
+
+func log2(v int) int {
+	n := 0
+	for v > 1 {
+		v >>= 1
+		n++
+	}
+	return n
+}
+
+// Config returns the cache geometry.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Access touches addr, returns whether it hit, and updates LRU state,
+// filling the line on a miss.
+func (c *Cache) Access(addr uint64) bool {
+	c.tick++
+	c.Stats.Accesses++
+	set := (addr >> c.setShift) & c.setMask
+	tag := addr >> c.setShift
+	lines := c.sets[set]
+	for i := range lines {
+		if lines[i].valid && lines[i].tag == tag {
+			lines[i].used = c.tick
+			return true
+		}
+	}
+	c.Stats.Misses++
+	victim := 0
+	for i := range lines {
+		if !lines[i].valid {
+			victim = i
+			break
+		}
+		if lines[i].used < lines[victim].used {
+			victim = i
+		}
+	}
+	lines[victim] = line{tag: tag, valid: true, used: c.tick}
+	return false
+}
+
+// Reset clears contents and statistics.
+func (c *Cache) Reset() {
+	for _, s := range c.sets {
+		for i := range s {
+			s[i] = line{}
+		}
+	}
+	c.tick = 0
+	c.Stats = Stats{}
+}
+
+// MultiSim evaluates many cache configurations in a single pass over the
+// address stream.
+type MultiSim struct {
+	Caches []*Cache
+}
+
+// NewMultiSim builds simulators for each configuration.
+func NewMultiSim(cfgs []Config) *MultiSim {
+	ms := &MultiSim{}
+	for _, cfg := range cfgs {
+		ms.Caches = append(ms.Caches, New(cfg))
+	}
+	return ms
+}
+
+// Access feeds one address to every configuration.
+func (ms *MultiSim) Access(addr uint64) {
+	for _, c := range ms.Caches {
+		c.Access(addr)
+	}
+}
+
+// SweepConfigs returns the paper's data-cache sweep: sizes 1KB..32KB,
+// 2-way, 32-byte lines (Figs. 7 and 8).
+func SweepConfigs() []Config {
+	var out []Config
+	for _, kb := range []int{1, 2, 4, 8, 16, 32} {
+		out = append(out, Config{
+			Name:     fmt.Sprintf("%dKB", kb),
+			Size:     kb * 1024,
+			LineSize: 32,
+			Assoc:    2,
+		})
+	}
+	return out
+}
+
+// Hierarchy is a two-level data-cache hierarchy with fixed latencies, used
+// by the CPU timing models.
+type Hierarchy struct {
+	L1, L2               *Cache
+	L1Lat, L2Lat, MemLat int
+}
+
+// AccessLatency touches both levels as needed and returns the load-to-use
+// latency in cycles.
+func (h *Hierarchy) AccessLatency(addr uint64) int {
+	if h.L1.Access(addr) {
+		return h.L1Lat
+	}
+	if h.L2.Access(addr) {
+		return h.L2Lat
+	}
+	return h.MemLat
+}

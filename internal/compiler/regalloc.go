@@ -1,0 +1,267 @@
+package compiler
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/ir"
+	"repro/internal/isa"
+)
+
+// bitset is a dense register set used by liveness analysis.
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+
+func (s bitset) set(r isa.RegID)      { s[r/64] |= 1 << (r % 64) }
+func (s bitset) clear(r isa.RegID)    { s[r/64] &^= 1 << (r % 64) }
+func (s bitset) has(r isa.RegID) bool { return s[r/64]&(1<<(r%64)) != 0 }
+
+func (s bitset) clone() bitset {
+	out := make(bitset, len(s))
+	copy(out, s)
+	return out
+}
+
+// orInto ors other into s, reporting whether s changed.
+func (s bitset) orInto(other bitset) bool {
+	changed := false
+	for i := range s {
+		if n := s[i] | other[i]; n != s[i] {
+			s[i] = n
+			changed = true
+		}
+	}
+	return changed
+}
+
+// forEach calls f for every register in the set.
+func (s bitset) forEach(f func(isa.RegID)) {
+	for w, word := range s {
+		for word != 0 {
+			b := word & -word
+			f(isa.RegID(w*64 + trailingZeros(word)))
+			word ^= b
+		}
+	}
+}
+
+func trailingZeros(x uint64) int {
+	n := 0
+	for x&1 == 0 {
+		x >>= 1
+		n++
+	}
+	return n
+}
+
+// liveness computes per-block live-in/live-out register sets.
+func liveness(f *isa.Func) (liveIn, liveOut []bitset) {
+	nb := len(f.Blocks)
+	n := f.NumRegs
+	use := make([]bitset, nb)
+	def := make([]bitset, nb)
+	liveIn = make([]bitset, nb)
+	liveOut = make([]bitset, nb)
+	for b := range f.Blocks {
+		use[b], def[b] = newBitset(n), newBitset(n)
+		liveIn[b], liveOut[b] = newBitset(n), newBitset(n)
+		for i := range f.Blocks[b].Instrs {
+			uses, d := ir.UseDef(&f.Blocks[b].Instrs[i])
+			for _, u := range uses {
+				if !def[b].has(u) {
+					use[b].set(u)
+				}
+			}
+			if d != isa.NoReg {
+				def[b].set(d)
+			}
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for b := nb - 1; b >= 0; b-- {
+			for _, s := range f.Blocks[b].Succs {
+				if liveOut[b].orInto(liveIn[s]) {
+					changed = true
+				}
+			}
+			// liveIn = use ∪ (liveOut − def)
+			tmp := liveOut[b].clone()
+			for i := range tmp {
+				tmp[i] = use[b][i] | (tmp[i] &^ def[b][i])
+			}
+			if liveIn[b].orInto(tmp) {
+				changed = true
+			}
+		}
+	}
+	return liveIn, liveOut
+}
+
+// interval is a live interval over the linearized instruction numbering.
+type interval struct {
+	reg        isa.RegID
+	begin, end int
+}
+
+// allocate performs linear-scan register allocation for the target's
+// register file, rewriting virtual registers to physical ones and inserting
+// spill loads/stores (via two reserved scratch registers) when the function
+// needs more registers than the ISA provides. Register-starved targets like
+// x86v therefore execute extra memory traffic — the register-pressure axis
+// that separates the paper's x86 machines from x86_64 and IA64.
+func allocate(f *isa.Func, target *isa.Desc) error {
+	k := target.IntRegs
+	if k < 4 {
+		return fmt.Errorf("ISA %s has too few registers (%d)", target.Name, k)
+	}
+	if f.NumRegs <= k {
+		return nil // virtual registers already fit the machine
+	}
+
+	// Linearize and compute positions.
+	startOf := make([]int, len(f.Blocks))
+	pos := 0
+	for b := range f.Blocks {
+		startOf[b] = pos
+		pos += len(f.Blocks[b].Instrs)
+	}
+	liveIn, liveOut := liveness(f)
+
+	begin := make([]int, f.NumRegs)
+	end := make([]int, f.NumRegs)
+	for r := range begin {
+		begin[r] = -1
+		end[r] = -1
+	}
+	extend := func(r isa.RegID, p int) {
+		if begin[r] == -1 || p < begin[r] {
+			begin[r] = p
+		}
+		if p > end[r] {
+			end[r] = p
+		}
+	}
+	for b := range f.Blocks {
+		s := startOf[b]
+		e := s + len(f.Blocks[b].Instrs) - 1
+		liveIn[b].forEach(func(r isa.RegID) { extend(r, s) })
+		liveOut[b].forEach(func(r isa.RegID) { extend(r, e) })
+		for i := range f.Blocks[b].Instrs {
+			uses, d := ir.UseDef(&f.Blocks[b].Instrs[i])
+			for _, u := range uses {
+				extend(u, s+i)
+			}
+			if d != isa.NoReg {
+				extend(d, s+i)
+			}
+		}
+	}
+
+	var itvs []interval
+	for r := 0; r < f.NumRegs; r++ {
+		if begin[r] >= 0 {
+			itvs = append(itvs, interval{isa.RegID(r), begin[r], end[r]})
+		}
+	}
+	sort.Slice(itvs, func(i, j int) bool {
+		if itvs[i].begin != itvs[j].begin {
+			return itvs[i].begin < itvs[j].begin
+		}
+		return itvs[i].reg < itvs[j].reg
+	})
+
+	// Two registers are reserved as spill scratch; the rest are allocatable.
+	alloc := k - 2
+	scratch0, scratch1 := isa.RegID(k-2), isa.RegID(k-1)
+
+	phys := make(map[isa.RegID]isa.RegID)
+	spillSlot := make(map[isa.RegID]int64)
+	var free []isa.RegID
+	for p := alloc - 1; p >= 0; p-- {
+		free = append(free, isa.RegID(p))
+	}
+	var active []interval // sorted by end ascending
+
+	insertActive := func(it interval) {
+		i := sort.Search(len(active), func(i int) bool { return active[i].end >= it.end })
+		active = append(active, interval{})
+		copy(active[i+1:], active[i:])
+		active[i] = it
+	}
+	spill := func(r isa.RegID) {
+		slot := int64(f.NumSlots)
+		f.NumSlots++
+		spillSlot[r] = slot
+	}
+
+	for _, it := range itvs {
+		// Expire finished intervals.
+		for len(active) > 0 && active[0].end < it.begin {
+			free = append(free, phys[active[0].reg])
+			active = active[1:]
+		}
+		if len(free) > 0 {
+			p := free[len(free)-1]
+			free = free[:len(free)-1]
+			phys[it.reg] = p
+			insertActive(it)
+			continue
+		}
+		// Spill the interval that ends furthest in the future.
+		victim := active[len(active)-1]
+		if victim.end > it.end {
+			phys[it.reg] = phys[victim.reg]
+			delete(phys, victim.reg)
+			spill(victim.reg)
+			active = active[:len(active)-1]
+			insertActive(it)
+		} else {
+			spill(it.reg)
+		}
+	}
+
+	// Rewrite instructions: physical renaming plus spill code.
+	for _, b := range f.Blocks {
+		out := make([]isa.Instr, 0, len(b.Instrs))
+		for _, in := range b.Instrs {
+			loaded := make(map[isa.RegID]isa.RegID)
+			nextScratch := scratch0
+			var pre []isa.Instr
+			mapUses(&in, func(r isa.RegID) isa.RegID {
+				if p, ok := phys[r]; ok {
+					return p
+				}
+				slot, ok := spillSlot[r]
+				if !ok {
+					return r // untouched (should not happen)
+				}
+				if s, seen := loaded[r]; seen {
+					return s
+				}
+				s := nextScratch
+				nextScratch = scratch1
+				pre = append(pre, isa.Instr{Op: isa.LDL, Dst: s, Imm: slot})
+				loaded[r] = s
+				return s
+			})
+			out = append(out, pre...)
+			_, d := ir.UseDef(&in)
+			var post []isa.Instr
+			if d != isa.NoReg {
+				if p, ok := phys[d]; ok {
+					in.Dst = p
+				} else if slot, ok := spillSlot[d]; ok {
+					in.Dst = scratch0
+					post = append(post, isa.Instr{Op: isa.STL, A: scratch0, Imm: slot})
+				}
+			}
+			out = append(out, in)
+			out = append(out, post...)
+		}
+		b.Instrs = out
+	}
+	f.NumRegs = k
+	return nil
+}

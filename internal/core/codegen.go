@@ -1,0 +1,472 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/hlc"
+	"repro/internal/isa"
+	"repro/internal/sfgl"
+)
+
+// Stream geometry: stride arrays must exceed the largest cache of the
+// Fig. 7/8 sweep (32KB) so that stride-class miss rates materialize. The
+// walking index is masked only when it advances (pi = (pi+s) & mask), and
+// arrays carry streamPad extra elements so accesses can use small constant
+// offsets without re-masking — keeping the compiled access as dense in
+// loads as the original code's (index load + element load).
+const (
+	intStreamLen   = 16384 // walking range: 64KB of 4-byte elements
+	intStreamMask  = intStreamLen - 1
+	floatStreamLen  = 8192 // walking range: 64KB of 8-byte elements
+	floatStreamMask = floatStreamLen - 1
+	streamPad      = 16 // headroom for constant offsets past the index
+	smallStreamLen = 64 // class 0 (always hit) working set
+	guardLen       = 64
+)
+
+// generator turns a skeleton into an HLC program.
+type generator struct {
+	g   *sfgl.Graph
+	rng *rand.Rand
+
+	usedInt   [sfgl.NumMemClasses]bool
+	usedFloat [sfgl.NumMemClasses]bool
+	guardUsed bool
+
+	// Mix accounting for the paper's compensation mechanism: target
+	// accumulates the instruction classes of translated profile blocks,
+	// emitted accumulates the estimated O0 footprint of generated
+	// statements; deficits steer pattern variants.
+	target  [isa.NumClasses]float64
+	emitted [isa.NumClasses]float64
+
+	// Pattern coverage (Table II's >95% claim), dynamically weighted.
+	consumedInstrs float64
+	totalInstrs    float64
+
+	funcs []*hlc.FuncDecl
+}
+
+func newGenerator(g *sfgl.Graph, rng *rand.Rand) *generator {
+	return &generator{g: g, rng: rng}
+}
+
+func (gen *generator) coverage() float64 {
+	if gen.totalInstrs == 0 {
+		return 1
+	}
+	cov := gen.consumedInstrs / gen.totalInstrs
+	if cov > 1 {
+		cov = 1
+	}
+	return cov
+}
+
+// estimatedDyn estimates the clone's dynamic instruction count from the
+// accumulated statement footprints; Synthesize uses it to calibrate R.
+func (gen *generator) estimatedDyn() float64 {
+	var t float64
+	for _, v := range gen.emitted {
+		t += v
+	}
+	return t
+}
+
+func (gen *generator) usedClasses() []int {
+	var out []int
+	for c := 0; c < sfgl.NumMemClasses; c++ {
+		if gen.usedInt[c] || gen.usedFloat[c] {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// program assembles the full clone: functions from skeleton chunks, global
+// stream arrays and indices, and a main that calls every function and
+// prints stream heads so no compiler can discard the computation.
+func (gen *generator) program(items []item) *hlc.Program {
+	for start := 0; start < len(items); {
+		size := 3 + gen.rng.Intn(6)
+		end := start + size
+		if end > len(items) {
+			end = len(items)
+		}
+		name := fmt.Sprintf("work%d", len(gen.funcs))
+		fn := &hlc.FuncDecl{
+			Name: name,
+			Ret:  hlc.TypeVoid,
+			Body: &hlc.Block{Stmts: gen.stmts(items[start:end], nil, 1)},
+		}
+		gen.funcs = append(gen.funcs, fn)
+		start = end
+	}
+	if len(gen.funcs) == 0 {
+		// Degenerate profile: still produce a valid, runnable clone.
+		gen.funcs = append(gen.funcs, &hlc.FuncDecl{
+			Name: "work0", Ret: hlc.TypeVoid,
+			Body: &hlc.Block{Stmts: []hlc.Stmt{
+				&hlc.AssignStmt{LHS: gen.intStreamRef(0, 0), Op: hlc.Assign, RHS: intLit(1)},
+			}},
+		})
+		gen.usedInt[0] = true
+	}
+
+	prog := &hlc.Program{}
+	// Globals: stream arrays and walking indices for every used class.
+	for c := 0; c < sfgl.NumMemClasses; c++ {
+		if gen.usedInt[c] {
+			prog.Globals = append(prog.Globals,
+				&hlc.VarDecl{Name: intStreamName(c), Type: hlc.TypeInt, ArrayLen: intLenFor(c)})
+			if c > 0 {
+				prog.Globals = append(prog.Globals,
+					&hlc.VarDecl{Name: intIdxName(c), Type: hlc.TypeInt})
+			}
+		}
+		if gen.usedFloat[c] {
+			prog.Globals = append(prog.Globals,
+				&hlc.VarDecl{Name: floatStreamName(c), Type: hlc.TypeFloat, ArrayLen: floatLenFor(c)})
+			if c > 0 {
+				prog.Globals = append(prog.Globals,
+					&hlc.VarDecl{Name: floatIdxName(c), Type: hlc.TypeInt})
+			}
+		}
+	}
+	if gen.guardUsed {
+		prog.Globals = append(prog.Globals,
+			&hlc.VarDecl{Name: "gKeep", Type: hlc.TypeInt, ArrayLen: guardLen})
+	}
+
+	prog.Funcs = append(prog.Funcs, gen.funcs...)
+
+	// main: run the work functions in order, then print anchors.
+	var mainStmts []hlc.Stmt
+	for _, f := range gen.funcs {
+		mainStmts = append(mainStmts, &hlc.ExprStmt{X: &hlc.CallExpr{Name: f.Name}})
+	}
+	for c := 0; c < sfgl.NumMemClasses; c++ {
+		if gen.usedInt[c] {
+			mainStmts = append(mainStmts, &hlc.PrintStmt{Args: []hlc.Expr{
+				&hlc.IndexExpr{Name: intStreamName(c), Idx: intLit(0)}}})
+		}
+		if gen.usedFloat[c] {
+			mainStmts = append(mainStmts, &hlc.PrintStmt{Args: []hlc.Expr{
+				&hlc.IndexExpr{Name: floatStreamName(c), Idx: intLit(0)}}})
+		}
+	}
+	prog.Funcs = append(prog.Funcs, &hlc.FuncDecl{
+		Name: "main", Ret: hlc.TypeVoid, Body: &hlc.Block{Stmts: mainStmts},
+	})
+	return prog
+}
+
+// loopCtx tracks enclosing synthetic loop iterator names.
+type loopCtx []string
+
+func (c loopCtx) innermost() (string, bool) {
+	if len(c) == 0 {
+		return "", false
+	}
+	return c[len(c)-1], true
+}
+
+func (gen *generator) stmts(items []item, ctx loopCtx, w float64) []hlc.Stmt {
+	var out []hlc.Stmt
+	for _, it := range items {
+		switch v := it.(type) {
+		case *loopItem:
+			out = append(out, gen.loopStmt(v, ctx, w)...)
+		case *blockItem:
+			out = append(out, gen.blockStmts(v, ctx, w)...)
+		}
+	}
+	if len(out) == 0 {
+		// Never emit an empty function/loop body: keep one anchor store.
+		gen.usedInt[0] = true
+		out = append(out, &hlc.AssignStmt{
+			LHS: gen.intStreamRef(0, 0), Op: hlc.PlusEq, RHS: intLit(1)})
+	}
+	return out
+}
+
+func (gen *generator) loopStmt(it *loopItem, ctx loopCtx, w float64) []hlc.Stmt {
+	iter := fmt.Sprintf("li%d", len(ctx))
+	wBody := w * it.freq * float64(it.trip)
+	body := gen.stmts(it.body, append(ctx, iter), wBody)
+	loop := &hlc.ForStmt{
+		Init: &hlc.DeclStmt{Decl: &hlc.VarDecl{Name: iter, Type: hlc.TypeInt, Init: intLit(0)}},
+		Cond: &hlc.BinaryExpr{Op: hlc.Lt, X: &hlc.VarRef{Name: iter}, Y: intLit(int64(it.trip))},
+		Post: &hlc.AssignStmt{LHS: &hlc.VarRef{Name: iter}, Op: hlc.PlusEq, RHS: intLit(1)},
+		Body: &hlc.Block{Stmts: body},
+	}
+	gen.account(stmtFootprint{branches: 1, ialu: 2, loads: 2, stores: 1}, w*it.freq*float64(it.trip))
+	if it.freq < 0.95 {
+		return []hlc.Stmt{gen.wrapFreq(loop, it.freq, ctx, w)}
+	}
+	return []hlc.Stmt{loop}
+}
+
+// blockStmts translates one basic-block occurrence: Table II pattern
+// recognition over its instruction types, then branch modeling, then
+// frequency wrapping.
+func (gen *generator) blockStmts(it *blockItem, ctx loopCtx, w float64) []hlc.Stmt {
+	n := it.node
+	wEff := w * it.freq
+	if it.freq < 0.05 {
+		wEff = 0 // never-executed arm
+	}
+	stmts := gen.translate(n, wEff)
+	if n.Branch != nil && !it.latch {
+		stmts = append(stmts, gen.branchStmt(n.Branch, ctx, wEff))
+	}
+	if it.freq < 0.95 && len(stmts) > 0 {
+		// Low-frequency blocks execute conditionally; below 5% the paper
+		// drops them into the never-executed arm of an easy branch whose
+		// body prints results.
+		if it.freq < 0.05 {
+			gen.guardUsed = true
+			return []hlc.Stmt{gen.neverTakenIf(stmts, w)}
+		}
+		return []hlc.Stmt{gen.wrapFreq(&hlc.Block{Stmts: stmts}, it.freq, ctx, w)}
+	}
+	return stmts
+}
+
+// wrapFreq makes stmt execute approximately frac of the time using a
+// modulo test on the innermost loop iterator (the paper's hard-branch
+// mechanism); outside loops it falls back to a guard test.
+func (gen *generator) wrapFreq(stmt hlc.Stmt, frac float64, ctx loopCtx, w float64) hlc.Stmt {
+	iter, ok := ctx.innermost()
+	if !ok {
+		gen.guardUsed = true
+		if frac >= 0.5 {
+			return gen.alwaysTakenIf([]hlc.Stmt{stmt}, w)
+		}
+		return gen.neverTakenIf([]hlc.Stmt{stmt}, w)
+	}
+	m, k := moduloFor(frac, 0.5)
+	gen.account(stmtFootprint{branches: 1, ialu: 2, loads: 1}, w)
+	return &hlc.IfStmt{
+		Cond: &hlc.BinaryExpr{Op: hlc.Lt,
+			X: &hlc.BinaryExpr{Op: hlc.Percent, X: &hlc.VarRef{Name: iter}, Y: intLit(int64(m))},
+			Y: intLit(int64(k))},
+		Then: toBlock(stmt),
+	}
+}
+
+// moduloFor picks modulo parameters (m, k) so that (i % m) < k holds for
+// about takenFrac of consecutive i, with a period reflecting transRate.
+func moduloFor(takenFrac, transRate float64) (int, int) {
+	m := 4
+	if transRate > 0 {
+		m = int(2.0/transRate + 0.5)
+	}
+	if m < 2 {
+		m = 2
+	}
+	if m > 64 {
+		m = 64
+	}
+	k := int(takenFrac*float64(m) + 0.5)
+	if k < 1 {
+		k = 1
+	}
+	if k > m-1 {
+		k = m - 1
+	}
+	return m, k
+}
+
+// branchStmt models a non-loop conditional branch per Section III.B.4.
+func (gen *generator) branchStmt(b *sfgl.BranchInfo, ctx loopCtx, w float64) hlc.Stmt {
+	gen.account(stmtFootprint{branches: 1, ialu: 1, loads: 1}, w)
+	if !b.Hard {
+		gen.guardUsed = true
+		if b.TakenRate >= 0.5 {
+			return gen.alwaysTakenIf([]hlc.Stmt{gen.smallStmt(w)}, w)
+		}
+		return gen.neverTakenIf([]hlc.Stmt{gen.smallStmt(0)}, w)
+	}
+	iter, ok := ctx.innermost()
+	if !ok {
+		gen.guardUsed = true
+		return gen.neverTakenIf([]hlc.Stmt{gen.smallStmt(0)}, w)
+	}
+	m, k := moduloFor(b.TakenRate, b.TransRate)
+	gen.account(stmtFootprint{ialu: 2}, w)
+	return &hlc.IfStmt{
+		Cond: &hlc.BinaryExpr{Op: hlc.Lt,
+			X: &hlc.BinaryExpr{Op: hlc.Percent, X: &hlc.VarRef{Name: iter}, Y: intLit(int64(m))},
+			Y: intLit(int64(k))},
+		Then: toBlock(gen.smallStmt(w * b.TakenRate)),
+		Else: toBlock(gen.smallStmt(w * (1 - b.TakenRate))),
+	}
+}
+
+// neverTakenIf wraps statements in a condition that is never true at run
+// time (the guard array is never written), adding the paper's print-the-
+// results filler so the compiler must keep everything reachable.
+func (gen *generator) neverTakenIf(inner []hlc.Stmt, w float64) hlc.Stmt {
+	gen.guardUsed = true
+	gen.account(stmtFootprint{branches: 1, ialu: 1, loads: 1}, w)
+	body := append([]hlc.Stmt{}, inner...)
+	body = append(body, gen.printFiller())
+	return &hlc.IfStmt{
+		Cond: &hlc.BinaryExpr{Op: hlc.Eq, X: gen.guardRef(), Y: intLit(99)},
+		Then: &hlc.Block{Stmts: body},
+	}
+}
+
+// alwaysTakenIf wraps statements in a condition that always holds; the dead
+// else arm prints results.
+func (gen *generator) alwaysTakenIf(inner []hlc.Stmt, w float64) hlc.Stmt {
+	gen.guardUsed = true
+	gen.account(stmtFootprint{branches: 1, ialu: 1, loads: 1}, w)
+	return &hlc.IfStmt{
+		Cond: &hlc.BinaryExpr{Op: hlc.Lt, X: gen.guardRef(), Y: intLit(99)},
+		Then: &hlc.Block{Stmts: inner},
+		Else: &hlc.Block{Stmts: []hlc.Stmt{gen.printFiller()}},
+	}
+}
+
+func (gen *generator) guardRef() hlc.Expr {
+	return &hlc.IndexExpr{Name: "gKeep", Idx: intLit(int64(gen.rng.Intn(guardLen)))}
+}
+
+func (gen *generator) printFiller() hlc.Stmt {
+	cls := gen.anyUsedIntClass()
+	return &hlc.PrintStmt{Args: []hlc.Expr{gen.intStreamRef(cls, int64(gen.rng.Intn(8)))}}
+}
+
+// smallStmt emits a minimal stride statement for branch arms; w is the
+// expected execution weight of the arm.
+func (gen *generator) smallStmt(w float64) hlc.Stmt {
+	cls := gen.anyUsedIntClass()
+	gen.account(stmtFootprint{loads: 2, stores: 1, ialu: 2}, w)
+	return &hlc.AssignStmt{
+		LHS: gen.intStreamWalk(cls, 0),
+		Op:  hlc.Assign,
+		RHS: &hlc.BinaryExpr{Op: hlc.Plus, X: gen.intStreamWalk(cls, 1), Y: intLit(int64(1 + gen.rng.Intn(9)))},
+	}
+}
+
+func (gen *generator) anyUsedIntClass() int {
+	for c := range gen.usedInt {
+		if gen.usedInt[c] {
+			return c
+		}
+	}
+	gen.usedInt[0] = true
+	return 0
+}
+
+func toBlock(s hlc.Stmt) *hlc.Block {
+	if b, ok := s.(*hlc.Block); ok {
+		return b
+	}
+	return &hlc.Block{Stmts: []hlc.Stmt{s}}
+}
+
+func intLit(v int64) *hlc.IntLit { return &hlc.IntLit{Value: v} }
+
+// --- stream naming and references ---
+
+func intStreamName(c int) string   { return fmt.Sprintf("mStream%d", c) }
+func floatStreamName(c int) string { return fmt.Sprintf("fStream%d", c) }
+func intIdxName(c int) string      { return fmt.Sprintf("pi%d", c) }
+func floatIdxName(c int) string    { return fmt.Sprintf("pf%d", c) }
+
+func intLenFor(c int) int {
+	if c == 0 {
+		return smallStreamLen
+	}
+	return intStreamLen + streamPad
+}
+
+func floatLenFor(c int) int {
+	if c == 0 {
+		return smallStreamLen
+	}
+	return floatStreamLen + streamPad
+}
+
+// intStreamRef returns mStreamC[off] (a fixed element).
+func (gen *generator) intStreamRef(c int, off int64) *hlc.IndexExpr {
+	gen.usedInt[c] = true
+	return &hlc.IndexExpr{Name: intStreamName(c), Idx: intLit(off)}
+}
+
+// intStreamWalk returns mStreamC[piC + off]: the stride-walking reference
+// of Section III.B.4 / Table I. The index stays in range because only the
+// advance statement changes it (masked there) and off is below streamPad.
+// Class 0 (always hit) uses plain constant indices into a small array, like
+// the paper's Fig. 3 example.
+func (gen *generator) intStreamWalk(c int, off int64) *hlc.IndexExpr {
+	gen.usedInt[c] = true
+	if c == 0 {
+		return &hlc.IndexExpr{Name: intStreamName(0),
+			Idx: intLit(int64(gen.rng.Intn(smallStreamLen)))}
+	}
+	idx := hlc.Expr(&hlc.VarRef{Name: intIdxName(c)})
+	if off != 0 {
+		idx = &hlc.BinaryExpr{Op: hlc.Plus, X: idx, Y: intLit(off % streamPad)}
+	}
+	return &hlc.IndexExpr{Name: intStreamName(c), Idx: idx}
+}
+
+func (gen *generator) floatStreamWalk(c int, off int64) *hlc.IndexExpr {
+	gen.usedFloat[c] = true
+	if c == 0 {
+		return &hlc.IndexExpr{Name: floatStreamName(0),
+			Idx: intLit(int64(gen.rng.Intn(smallStreamLen)))}
+	}
+	idx := hlc.Expr(&hlc.VarRef{Name: floatIdxName(c)})
+	if off != 0 {
+		idx = &hlc.BinaryExpr{Op: hlc.Plus, X: idx, Y: intLit(off % streamPad)}
+	}
+	return &hlc.IndexExpr{Name: floatStreamName(c), Idx: idx}
+}
+
+// advanceStmt walks a stream index by its Table I stride, wrapping with a
+// power-of-two mask so subsequent offset accesses stay within the padded
+// array.
+func (gen *generator) advanceStmt(c int, float bool, w float64) hlc.Stmt {
+	gen.account(stmtFootprint{loads: 1, stores: 1, ialu: 2}, w)
+	name := intIdxName(c)
+	mask := int64(intStreamMask)
+	step := int64(sfgl.StrideBytes(c) / isa.IntBytes)
+	if float {
+		name = floatIdxName(c)
+		mask = floatStreamMask
+		step = int64((sfgl.StrideBytes(c) + isa.FloatBytes - 1) / isa.FloatBytes)
+	}
+	if step < 1 {
+		step = 1 // class 0 walks within its tiny always-hit array
+	}
+	return &hlc.AssignStmt{
+		LHS: &hlc.VarRef{Name: name},
+		Op:  hlc.Assign,
+		RHS: &hlc.BinaryExpr{Op: hlc.Amp,
+			X: &hlc.BinaryExpr{Op: hlc.Plus, X: &hlc.VarRef{Name: name}, Y: intLit(step)},
+			Y: intLit(mask)},
+	}
+}
+
+// stmtFootprint estimates the O0 instruction classes a generated statement
+// compiles to; the compensation accounting runs on these estimates.
+type stmtFootprint struct {
+	loads, stores, ialu, fpu, branches float64
+}
+
+func (gen *generator) account(f stmtFootprint, w float64) {
+	gen.emitted[isa.ClassLoad] += f.loads * w
+	gen.emitted[isa.ClassStore] += f.stores * w
+	gen.emitted[isa.ClassIntALU] += f.ialu * w
+	gen.emitted[isa.ClassFPAdd] += f.fpu * w
+	gen.emitted[isa.ClassBranch] += f.branches * w
+}
+
+func (gen *generator) deficit(c isa.Class) float64 {
+	return gen.target[c] - gen.emitted[c]
+}

@@ -1,0 +1,466 @@
+package core
+
+import (
+	"repro/internal/hlc"
+	"repro/internal/isa"
+	"repro/internal/sfgl"
+)
+
+// This file implements Section III.B.4 / Table II: scanning a profiled
+// basic block's instruction types and emitting C statements whose compiled
+// form reproduces those sequences. The recognizer groups a maximal
+// load/const/arith run ending in a store into one assignment statement —
+// Table II's load-store, load-arith-store, load-load-arith-store,
+// three-load, and store rows are exactly the small instances of this rule,
+// and load-cmp-br sequences are claimed by branch modeling. Instructions no
+// group covers are compensated afterwards, as the paper prescribes.
+
+// tkind classifies instruction types for pattern matching.
+type tkind int
+
+const (
+	kSkip tkind = iota
+	kLoad
+	kStore
+	kArithI
+	kArithF
+	kUnaryF
+	kConst
+	kCmp
+	kBr
+)
+
+type tok struct {
+	kind tkind
+	op   isa.Opcode
+	mem  int // Table I class for loads/stores (-1 unknown)
+}
+
+func kindOf(in sfgl.InstrInfo) tkind {
+	switch in.Op {
+	case isa.LD, isa.LDL:
+		return kLoad
+	case isa.ST, isa.STL:
+		return kStore
+	case isa.ADD, isa.SUB, isa.MUL, isa.DIV, isa.MOD, isa.AND, isa.OR,
+		isa.XOR, isa.SHL, isa.SHR, isa.NEG, isa.NOTB:
+		return kArithI
+	case isa.FADD, isa.FSUB, isa.FMUL, isa.FDIV, isa.FNEG, isa.ITOF, isa.FTOI:
+		return kArithF
+	case isa.FSQRT, isa.FSIN, isa.FCOS, isa.FABS:
+		return kUnaryF
+	case isa.MOVI, isa.MOVF:
+		return kConst
+	case isa.CMPEQ, isa.CMPNE, isa.CMPLT, isa.CMPLE, isa.CMPGT, isa.CMPGE,
+		isa.FCMPEQ, isa.FCMPNE, isa.FCMPLT, isa.FCMPLE, isa.FCMPGT, isa.FCMPGE:
+		return kCmp
+	case isa.BR:
+		return kBr
+	}
+	return kSkip
+}
+
+// group is one recognized statement: loads feeding a chain of operations
+// into a store.
+type group struct {
+	loads   []tok
+	ops     []isa.Opcode
+	store   tok
+	isFloat bool
+	nTokens int // tokens consumed, for coverage accounting
+}
+
+// maxGroupLen bounds how many instruction tokens one statement absorbs.
+const maxGroupLen = 12
+
+// translate emits C statements for one basic-block occurrence expected to
+// execute w times.
+func (gen *generator) translate(n *sfgl.Node, w float64) []hlc.Stmt {
+	var seq []tok
+	for _, in := range n.Instrs {
+		gen.target[in.Class] += w
+		k := kindOf(in)
+		if k == kSkip {
+			continue
+		}
+		seq = append(seq, tok{kind: k, op: in.Op, mem: in.MemClass})
+	}
+	gen.totalInstrs += w * float64(len(seq))
+
+	kindAt := func(i int) tkind {
+		if i >= len(seq) {
+			return kSkip
+		}
+		return seq[i].kind
+	}
+
+	var out []hlc.Stmt
+	var leftoverI, leftoverF []isa.Opcode
+
+	// branchHeaderLen reports how many tokens starting at i form a branch
+	// condition — up to three loads (and interleaved constants) feeding a
+	// compare and a conditional branch, the generalized "load-cmp-br" of
+	// Table II. Zero means no branch pattern starts here.
+	branchHeaderLen := func(i int) int {
+		j := i
+		for j-i < 4 && (kindAt(j) == kLoad || kindAt(j) == kConst) {
+			j++
+		}
+		if kindAt(j) == kCmp && kindAt(j+1) == kBr {
+			return j + 2 - i
+		}
+		if kindAt(j) == kBr && j > i {
+			return j + 1 - i // direct test of a loaded value
+		}
+		return 0
+	}
+
+	i := 0
+	for i < len(seq) {
+		if n := branchHeaderLen(i); n > 0 {
+			gen.consumedInstrs += float64(n) * w
+			i += n
+			continue
+		}
+		if kindAt(i) == kBr {
+			gen.consumedInstrs += w
+			i++
+			continue
+		}
+
+		// Maximal-munch group collection.
+		g := group{}
+		j := i
+	scan:
+		for j < len(seq) && j-i < maxGroupLen {
+			t := seq[j]
+			switch t.kind {
+			case kLoad, kConst:
+				// Loads feeding a cmp+br belong to the branch pattern.
+				if branchHeaderLen(j) > 0 {
+					break scan
+				}
+				if t.kind == kLoad {
+					g.loads = append(g.loads, t)
+				}
+				j++
+			case kArithI:
+				g.ops = append(g.ops, t.op)
+				j++
+			case kArithF, kUnaryF:
+				g.isFloat = true
+				g.ops = append(g.ops, t.op)
+				j++
+			case kCmp:
+				// A comparison not feeding a branch produces a 0/1 value
+				// usable as an ordinary operand.
+				if kindAt(j+1) == kBr {
+					break scan
+				}
+				g.ops = append(g.ops, t.op)
+				j++
+			case kStore:
+				g.store = t
+				j++
+				g.nTokens = j - i
+				break scan
+			default:
+				break scan
+			}
+		}
+		if g.nTokens > 0 {
+			out = append(out, gen.emitGroup(&g, w)...)
+			gen.consumedInstrs += w * float64(g.nTokens)
+			i = j
+			continue
+		}
+		// No store terminated the run: the scanned operations are
+		// uncovered; queue them for compensation.
+		if j == i {
+			i++ // lone cmp or stray token
+			continue
+		}
+		for _, t := range seq[i:j] {
+			switch t.kind {
+			case kArithI:
+				leftoverI = append(leftoverI, t.op)
+			case kArithF, kUnaryF:
+				leftoverF = append(leftoverF, t.op)
+			case kLoad:
+				leftoverI = append(leftoverI, isa.ADD)
+			}
+		}
+		i = j
+	}
+
+	out = append(out, gen.compensateInt(leftoverI, w)...)
+	out = append(out, gen.compensateFloat(leftoverF, w)...)
+	return out
+}
+
+// emitGroup renders one recognized group as an assignment statement,
+// chaining every load and operation so the clone's dynamic instruction
+// classes match the profile's.
+func (gen *generator) emitGroup(g *group, w float64) []hlc.Stmt {
+	dst := gen.memClassOf(g.store)
+	var srcClasses []int
+	for _, l := range g.loads {
+		srcClasses = append(srcClasses, gen.memClassOf(l))
+	}
+
+	walk := func(cls int, off int64) hlc.Expr {
+		if g.isFloat {
+			return gen.floatStreamWalk(cls, off)
+		}
+		return gen.intStreamWalk(cls, off)
+	}
+	cst := func(tk hlc.Token) hlc.Expr {
+		if g.isFloat {
+			return gen.floatConst()
+		}
+		return gen.rhsConst(tk)
+	}
+
+	var expr hlc.Expr
+	loadIdx := 0
+	if len(srcClasses) > 0 {
+		expr = walk(srcClasses[0], 0)
+		loadIdx = 1
+	} else if g.isFloat {
+		expr = gen.floatConst()
+	} else {
+		expr = gen.smallConst()
+	}
+
+	nInt, nFP := 0.0, 0.0
+	for _, op := range g.ops {
+		if op == isa.FSQRT || op == isa.FSIN || op == isa.FCOS || op == isa.FABS {
+			name := intrinsicName(op)
+			if name == "sqrt" {
+				expr = &hlc.CallExpr{Name: "fabs", Args: []hlc.Expr{expr}}
+			}
+			expr = &hlc.CallExpr{Name: name, Args: []hlc.Expr{expr}}
+			nFP++
+			continue
+		}
+		tk, constOnly := opToken(op)
+		if g.isFloat {
+			tk = floatSafe(tk)
+			constOnly = false
+		}
+		var operand hlc.Expr
+		if !constOnly && loadIdx < len(srcClasses) {
+			operand = walk(srcClasses[loadIdx], int64(loadIdx))
+			loadIdx++
+		} else {
+			operand = cst(tk)
+		}
+		expr = &hlc.BinaryExpr{Op: tk, X: expr, Y: operand}
+		if g.isFloat {
+			nFP++
+		} else {
+			nInt++
+		}
+	}
+	// Chain any loads the operations did not absorb so the load count
+	// still matches the profile.
+	plus := hlc.Plus
+	for loadIdx < len(srcClasses) {
+		expr = &hlc.BinaryExpr{Op: plus, X: expr, Y: walk(srcClasses[loadIdx], int64(loadIdx))}
+		loadIdx++
+		if g.isFloat {
+			nFP++
+		} else {
+			nInt++
+		}
+	}
+
+	var lhs hlc.LValue
+	if g.isFloat {
+		lhs = gen.floatStreamWalk(dst, 0)
+	} else {
+		lhs = gen.intStreamWalk(dst, 0)
+	}
+	stmt := &hlc.AssignStmt{LHS: lhs, Op: hlc.Assign, RHS: expr}
+
+	// Accounting: element accesses plus index-variable overhead (each
+	// access to a walking class reads its index; class 0 uses constant
+	// indices and costs only the element access).
+	walkAccesses := 0.0
+	if dst != 0 {
+		walkAccesses++
+	}
+	for _, c := range srcClasses {
+		if c != 0 {
+			walkAccesses++
+		}
+	}
+	gen.account(stmtFootprint{
+		loads:  float64(len(srcClasses)) + walkAccesses,
+		stores: 1,
+		ialu:   nInt + walkAccesses,
+		fpu:    nFP,
+	}, w)
+
+	classes := append([]int{dst}, srcClasses...)
+	return append([]hlc.Stmt{stmt}, gen.advances(g.isFloat, w, classes...)...)
+}
+
+func intrinsicName(op isa.Opcode) string {
+	switch op {
+	case isa.FSIN:
+		return "sin"
+	case isa.FCOS:
+		return "cos"
+	case isa.FABS:
+		return "fabs"
+	default:
+		return "sqrt"
+	}
+}
+
+// opToken maps an arithmetic opcode to an HLC operator, with a flag for
+// operators that are only safe against constant right-hand sides (division
+// and modulo can trap; shifts need small counts).
+func opToken(op isa.Opcode) (tk hlc.Token, constOnly bool) {
+	switch op {
+	case isa.ADD, isa.FADD, isa.ITOF, isa.FTOI:
+		return hlc.Plus, false
+	case isa.SUB, isa.FSUB, isa.NEG, isa.FNEG:
+		return hlc.Minus, false
+	case isa.MUL, isa.FMUL:
+		return hlc.Star, false
+	case isa.DIV, isa.MOD:
+		return hlc.Slash, true
+	case isa.FDIV:
+		return hlc.Slash, false // float division cannot trap
+	case isa.AND:
+		return hlc.Amp, false
+	case isa.OR:
+		return hlc.Pipe, false
+	case isa.XOR, isa.NOTB:
+		return hlc.Caret, false
+	case isa.SHL:
+		return hlc.Shl, true
+	case isa.SHR:
+		return hlc.Shr, true
+	case isa.CMPEQ, isa.FCMPEQ:
+		return hlc.Eq, false
+	case isa.CMPNE, isa.FCMPNE:
+		return hlc.Neq, false
+	case isa.CMPLT, isa.FCMPLT:
+		return hlc.Lt, false
+	case isa.CMPLE, isa.FCMPLE:
+		return hlc.Le, false
+	case isa.CMPGT, isa.FCMPGT:
+		return hlc.Gt, false
+	case isa.CMPGE, isa.FCMPGE:
+		return hlc.Ge, false
+	}
+	return hlc.Plus, false
+}
+
+func (gen *generator) memClassOf(t tok) int {
+	if t.mem >= 0 {
+		return t.mem
+	}
+	return 0
+}
+
+func (gen *generator) smallConst() *hlc.IntLit { return intLit(int64(1 + gen.rng.Intn(9))) }
+func (gen *generator) shiftConst() *hlc.IntLit { return intLit(int64(1 + gen.rng.Intn(5))) }
+func (gen *generator) floatConst() *hlc.FloatLit {
+	return &hlc.FloatLit{Value: float64(gen.rng.Intn(64))/8 + 0.5}
+}
+
+// rhsConst returns a right-hand-side constant appropriate for the operator.
+func (gen *generator) rhsConst(tk hlc.Token) hlc.Expr {
+	switch tk {
+	case hlc.Shl, hlc.Shr:
+		return gen.shiftConst()
+	case hlc.Slash, hlc.Percent:
+		return intLit(int64(2 + gen.rng.Intn(8)))
+	}
+	return gen.smallConst()
+}
+
+// compensateInt folds leftover integer operations (instructions no pattern
+// covered) into chained constant-operand statements — the paper's
+// "compensate for those instructions on a later occasion".
+func (gen *generator) compensateInt(ops []isa.Opcode, w float64) []hlc.Stmt {
+	var out []hlc.Stmt
+	for len(ops) > 0 {
+		take := len(ops)
+		if take > 3 {
+			take = 3
+		}
+		cls := gen.anyUsedIntClass()
+		expr := hlc.Expr(gen.intStreamWalk(cls, 0))
+		for _, op := range ops[:take] {
+			tk, _ := opToken(op)
+			expr = &hlc.BinaryExpr{Op: tk, X: expr, Y: gen.rhsConst(tk)}
+		}
+		gen.account(stmtFootprint{loads: 2, stores: 2, ialu: 2 + float64(take)}, w)
+		out = append(out, &hlc.AssignStmt{
+			LHS: gen.intStreamWalk(cls, 1), Op: hlc.Assign, RHS: expr,
+		})
+		out = append(out, gen.advances(false, w, cls)...)
+		ops = ops[take:]
+	}
+	return out
+}
+
+func (gen *generator) compensateFloat(ops []isa.Opcode, w float64) []hlc.Stmt {
+	var out []hlc.Stmt
+	for len(ops) > 0 {
+		take := len(ops)
+		if take > 3 {
+			take = 3
+		}
+		cls := 0
+		expr := hlc.Expr(gen.floatStreamWalk(cls, 0))
+		for _, op := range ops[:take] {
+			if op == isa.FSQRT || op == isa.FSIN || op == isa.FCOS || op == isa.FABS {
+				name := intrinsicName(op)
+				if name == "sqrt" {
+					expr = &hlc.CallExpr{Name: "fabs", Args: []hlc.Expr{expr}}
+				}
+				expr = &hlc.CallExpr{Name: name, Args: []hlc.Expr{expr}}
+				continue
+			}
+			tk, _ := opToken(op)
+			expr = &hlc.BinaryExpr{Op: floatSafe(tk), X: expr, Y: gen.floatConst()}
+		}
+		gen.account(stmtFootprint{loads: 2, stores: 2, fpu: float64(take), ialu: 2}, w)
+		out = append(out, &hlc.AssignStmt{
+			LHS: gen.floatStreamWalk(cls, 1), Op: hlc.Assign, RHS: expr,
+		})
+		ops = ops[take:]
+	}
+	return out
+}
+
+// floatSafe maps integer-only operators that can appear on float data
+// (via ITOF/FTOI sequences) back to float-legal ones.
+func floatSafe(tk hlc.Token) hlc.Token {
+	switch tk {
+	case hlc.Amp, hlc.Pipe, hlc.Caret, hlc.Shl, hlc.Shr, hlc.Percent:
+		return hlc.Plus
+	}
+	return tk
+}
+
+// advances emits the stride-index updates for the distinct classes a
+// statement touched (class 0 uses constant indices and never advances).
+func (gen *generator) advances(float bool, w float64, classes ...int) []hlc.Stmt {
+	seen := map[int]bool{}
+	var out []hlc.Stmt
+	for _, c := range classes {
+		if c == 0 || seen[c] {
+			continue
+		}
+		seen[c] = true
+		out = append(out, gen.advanceStmt(c, float, w))
+	}
+	return out
+}

@@ -1,0 +1,402 @@
+// Package cpu provides the performance (timing) models: an out-of-order
+// ROB-window model and an in-order EPIC model, plus the machine
+// configurations of the paper's Table III. It substitutes for PTLSim and
+// for the five real machines of the paper's evaluation.
+//
+// The out-of-order model is a one-pass trace-driven window model: each
+// dynamic instruction dispatches in order (bounded by fetch width, ROB
+// occupancy, and branch-mispredict refill bubbles), starts executing once
+// its register inputs are ready, and completes after its functional-unit or
+// memory latency. That captures exactly the effects the paper's figures
+// depend on — dependence chains, cache-miss stalls, mispredict bubbles, and
+// issue-width limits — at a small fraction of the cost of a detailed
+// pipeline simulator.
+//
+// The EPIC model issues compiler-built bundles strictly in order: a bundle
+// stalls until every input of every instruction in it is ready. It only
+// goes fast when the static scheduler has packed independent operations
+// together, which is what makes the Itanium numbers sensitive to the
+// optimization level (Fig. 11).
+package cpu
+
+import (
+	"fmt"
+
+	"repro/internal/bpred"
+	"repro/internal/cache"
+	"repro/internal/ir"
+	"repro/internal/isa"
+	"repro/internal/vm"
+)
+
+// Config describes one machine.
+type Config struct {
+	Name    string
+	ISA     *isa.Desc
+	FreqGHz float64
+
+	Width             int // dispatch width (instructions/cycle); EPIC: bundles/cycle
+	ROB               int // reorder-buffer entries (OoO only)
+	MispredictPenalty int // front-end refill bubbles after a mispredict
+
+	L1KB, L1Assoc        int
+	L2KB, L2Assoc        int
+	L1Lat, L2Lat, MemLat int
+
+	EPIC bool // in-order, bundle-driven (requires cfg.ISA.EPIC code)
+
+	// NewPredictor constructs the branch predictor (nil = DefaultHybrid).
+	NewPredictor func() bpred.Predictor
+}
+
+// Result summarizes a timed execution.
+type Result struct {
+	Machine     string
+	Cycles      uint64
+	Instrs      uint64
+	CPI         float64
+	TimeSec     float64
+	L1          cache.Stats
+	L2          cache.Stats
+	BranchAcc   float64
+	Branches    uint64
+	Mispredicts uint64
+	Run         vm.Result
+}
+
+// Simulate runs prog on the configured machine model. setup (optional)
+// installs workload inputs into the VM before execution.
+func Simulate(prog *isa.Program, setup func(*vm.VM) error, cfg Config, maxInstrs uint64) (Result, error) {
+	if cfg.EPIC != cfg.ISA.EPIC {
+		return Result{}, fmt.Errorf("cpu: machine %s EPIC=%v but ISA %s EPIC=%v",
+			cfg.Name, cfg.EPIC, cfg.ISA.Name, cfg.ISA.EPIC)
+	}
+	if prog.ISA != cfg.ISA {
+		return Result{}, fmt.Errorf("cpu: program compiled for %s, machine %s wants %s",
+			prog.ISA.Name, cfg.Name, cfg.ISA.Name)
+	}
+	m := vm.New(prog)
+	if setup != nil {
+		if err := setup(m); err != nil {
+			return Result{}, err
+		}
+	}
+
+	var model timingModel
+	if cfg.EPIC {
+		model = newEPICModel(prog, cfg)
+	} else {
+		model = newOoOModel(prog, cfg)
+	}
+	runRes, err := m.Run(vm.Config{Hook: model.observe, MaxInstrs: maxInstrs})
+	if err != nil {
+		return Result{}, err
+	}
+	res := model.finish()
+	res.Machine = cfg.Name
+	res.Run = runRes
+	res.Instrs = runRes.DynInstrs
+	if res.Cycles > 0 {
+		res.CPI = float64(res.Cycles) / float64(res.Instrs)
+	}
+	if cfg.FreqGHz > 0 {
+		res.TimeSec = float64(res.Cycles) / (cfg.FreqGHz * 1e9)
+	}
+	return res, nil
+}
+
+type timingModel interface {
+	observe(ev *vm.Event)
+	finish() Result
+}
+
+// latencyFor returns the fixed functional-unit latency per class (loads and
+// stores are handled separately through the cache hierarchy).
+func latencyFor(class isa.Class) uint64 {
+	switch class {
+	case isa.ClassIntALU, isa.ClassOther:
+		return 1
+	case isa.ClassIntMul:
+		return 3
+	case isa.ClassIntDiv:
+		return 20
+	case isa.ClassFPAdd:
+		return 3
+	case isa.ClassFPMul:
+		return 5
+	case isa.ClassFPDiv:
+		return 24
+	case isa.ClassBranch, isa.ClassJump:
+		return 1
+	case isa.ClassCall, isa.ClassRet:
+		return 2
+	case isa.ClassSys:
+		return 12
+	}
+	return 1
+}
+
+func newHierarchy(cfg Config) *cache.Hierarchy {
+	return &cache.Hierarchy{
+		L1: cache.New(cache.Config{
+			Name: "L1D", Size: cfg.L1KB * 1024, LineSize: 32, Assoc: maxInt(cfg.L1Assoc, 1),
+		}),
+		L2: cache.New(cache.Config{
+			Name: "L2", Size: cfg.L2KB * 1024, LineSize: 32, Assoc: maxInt(cfg.L2Assoc, 1),
+		}),
+		L1Lat:  cfg.L1Lat,
+		L2Lat:  cfg.L2Lat,
+		MemLat: cfg.MemLat,
+	}
+}
+
+func newPredictor(cfg Config) bpred.Predictor {
+	if cfg.NewPredictor != nil {
+		return cfg.NewPredictor()
+	}
+	return bpred.DefaultHybrid()
+}
+
+// branchPC builds a stable synthetic PC for a static branch site.
+func branchPC(ev *vm.Event) uint64 {
+	return uint64(ev.Func)<<24 ^ uint64(ev.Block)<<10 ^ uint64(ev.Index)
+}
+
+// ooOModel is the out-of-order window model.
+type ooOModel struct {
+	cfg   Config
+	hier  *cache.Hierarchy
+	pred  bpred.Predictor
+	stats struct {
+		branches, mispredicts uint64
+	}
+
+	cycle          uint64 // current fetch cycle
+	fetchedThis    int    // instructions dispatched in the current cycle
+	regReady       []uint64
+	rob            []uint64 // completion times, ring buffer of ROB size
+	robHead        int
+	robCount       int
+	lastCompletion uint64
+}
+
+func newOoOModel(prog *isa.Program, cfg Config) *ooOModel {
+	maxRegs := 0
+	for _, f := range prog.Funcs {
+		if f.NumRegs > maxRegs {
+			maxRegs = f.NumRegs
+		}
+	}
+	return &ooOModel{
+		cfg:      cfg,
+		hier:     newHierarchy(cfg),
+		pred:     newPredictor(cfg),
+		regReady: make([]uint64, maxRegs+1),
+		rob:      make([]uint64, maxInt(cfg.ROB, 8)),
+	}
+}
+
+func (m *ooOModel) observe(ev *vm.Event) {
+	// Dispatch: bounded by width and ROB occupancy.
+	if m.fetchedThis >= m.cfg.Width {
+		m.cycle++
+		m.fetchedThis = 0
+	}
+	if m.robCount == len(m.rob) {
+		head := m.rob[m.robHead]
+		if head > m.cycle {
+			m.cycle = head
+			m.fetchedThis = 0
+		}
+		m.robHead = (m.robHead + 1) % len(m.rob)
+		m.robCount--
+	}
+	m.fetchedThis++
+
+	in := ev.Instr
+	u1, u2, def := ir.UseDef2(in)
+	start := m.cycle
+	if u1 != isa.NoReg && m.regReady[u1] > start {
+		start = m.regReady[u1]
+	}
+	if u2 != isa.NoReg && m.regReady[u2] > start {
+		start = m.regReady[u2]
+	}
+
+	var lat uint64
+	switch {
+	case in.Op == isa.LD || in.Op == isa.LDL:
+		lat = uint64(m.hier.AccessLatency(ev.Addr))
+	case in.Op == isa.ST || in.Op == isa.STL:
+		m.hier.AccessLatency(ev.Addr) // fill caches; store buffer hides latency
+		lat = 1
+	default:
+		lat = latencyFor(in.Class())
+	}
+	done := start + lat
+
+	if in.Op == isa.BR {
+		m.stats.branches++
+		pc := branchPC(ev)
+		predicted := m.pred.Predict(pc)
+		m.pred.Update(pc, ev.Taken)
+		if predicted != ev.Taken {
+			m.stats.mispredicts++
+			// Front end restarts after the branch resolves.
+			refill := done + uint64(m.cfg.MispredictPenalty)
+			if refill > m.cycle {
+				m.cycle = refill
+				m.fetchedThis = 0
+			}
+		}
+	}
+
+	if def != isa.NoReg {
+		m.regReady[def] = done
+	}
+	if done > m.lastCompletion {
+		m.lastCompletion = done
+	}
+	// Enter the ROB.
+	tail := (m.robHead + m.robCount) % len(m.rob)
+	m.rob[tail] = done
+	m.robCount++
+}
+
+func (m *ooOModel) finish() Result {
+	res := Result{
+		Cycles:      maxU64(m.cycle, m.lastCompletion),
+		L1:          m.hier.L1.Stats,
+		L2:          m.hier.L2.Stats,
+		Branches:    m.stats.branches,
+		Mispredicts: m.stats.mispredicts,
+	}
+	if m.stats.branches > 0 {
+		res.BranchAcc = 1 - float64(m.stats.mispredicts)/float64(m.stats.branches)
+	} else {
+		res.BranchAcc = 1
+	}
+	return res
+}
+
+// epicModel issues statically scheduled bundles in order.
+type epicModel struct {
+	cfg   Config
+	prog  *isa.Program
+	hier  *cache.Hierarchy
+	pred  bpred.Predictor
+	stats struct{ branches, mispredicts uint64 }
+
+	cycle          uint64
+	regReady       []uint64
+	lastCompletion uint64
+
+	// Current bundle tracking: instructions of the same (func, block,
+	// bundle id) issue in the same cycle.
+	curFunc, curBlock, curBundle int
+	haveBundle                   bool
+}
+
+func newEPICModel(prog *isa.Program, cfg Config) *epicModel {
+	maxRegs := 0
+	for _, f := range prog.Funcs {
+		if f.NumRegs > maxRegs {
+			maxRegs = f.NumRegs
+		}
+	}
+	return &epicModel{
+		cfg:      cfg,
+		prog:     prog,
+		hier:     newHierarchy(cfg),
+		pred:     newPredictor(cfg),
+		regReady: make([]uint64, maxRegs+1),
+	}
+}
+
+func (m *epicModel) observe(ev *vm.Event) {
+	blk := m.prog.Funcs[ev.Func].Blocks[ev.Block]
+	bundleID := ev.Index // unscheduled code: every instruction its own bundle
+	if blk.Bundle != nil {
+		bundleID = blk.Bundle[ev.Index]
+	}
+	newBundle := !m.haveBundle || ev.Func != m.curFunc || ev.Block != m.curBlock || bundleID != m.curBundle
+	if newBundle {
+		m.cycle++ // one bundle per cycle baseline
+		m.curFunc, m.curBlock, m.curBundle = ev.Func, ev.Block, bundleID
+		m.haveBundle = true
+	}
+
+	in := ev.Instr
+	u1, u2, def := ir.UseDef2(in)
+	// In-order stall: the whole machine waits for this bundle's inputs.
+	start := m.cycle
+	if u1 != isa.NoReg && m.regReady[u1] > start {
+		start = m.regReady[u1]
+	}
+	if u2 != isa.NoReg && m.regReady[u2] > start {
+		start = m.regReady[u2]
+	}
+	if start > m.cycle {
+		m.cycle = start // stall cycles
+	}
+
+	var lat uint64
+	switch {
+	case in.Op == isa.LD || in.Op == isa.LDL:
+		lat = uint64(m.hier.AccessLatency(ev.Addr))
+	case in.Op == isa.ST || in.Op == isa.STL:
+		m.hier.AccessLatency(ev.Addr)
+		lat = 1
+	default:
+		lat = latencyFor(in.Class())
+	}
+	done := m.cycle + lat
+
+	if in.Op == isa.BR {
+		m.stats.branches++
+		pc := branchPC(ev)
+		predicted := m.pred.Predict(pc)
+		m.pred.Update(pc, ev.Taken)
+		if predicted != ev.Taken {
+			m.stats.mispredicts++
+			m.cycle = done + uint64(m.cfg.MispredictPenalty)
+		}
+	}
+
+	if def != isa.NoReg {
+		m.regReady[def] = done
+	}
+	if done > m.lastCompletion {
+		m.lastCompletion = done
+	}
+}
+
+func (m *epicModel) finish() Result {
+	res := Result{
+		Cycles:      maxU64(m.cycle, m.lastCompletion),
+		L1:          m.hier.L1.Stats,
+		L2:          m.hier.L2.Stats,
+		Branches:    m.stats.branches,
+		Mispredicts: m.stats.mispredicts,
+	}
+	if m.stats.branches > 0 {
+		res.BranchAcc = 1 - float64(m.stats.mispredicts)/float64(m.stats.branches)
+	} else {
+		res.BranchAcc = 1
+	}
+	return res
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func maxU64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

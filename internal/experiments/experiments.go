@@ -1,0 +1,145 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section V): each ExperimentX function runs the corresponding
+// measurement over the workload suite and its synthetic clones and returns
+// printable rows. cmd/experiments renders them; bench_test.go wraps each in
+// a benchmark; EXPERIMENTS.md records paper-vs-measured values.
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/compiler"
+	"repro/internal/core"
+	"repro/internal/hlc"
+	"repro/internal/isa"
+	"repro/internal/profile"
+	"repro/internal/vm"
+	"repro/internal/workloads"
+)
+
+// CloneSeed is the fixed seed used for every clone in the experiments, so
+// results are reproducible run to run.
+const CloneSeed = 20100321 // IISWC 2010 paper vintage
+
+// Suite selection: Full is every workload/input pair of Fig. 4; Quick is a
+// representative subset (the small inputs plus the single-variant
+// benchmarks) used by the per-machine sweeps where the full cross product
+// would dominate test time.
+func Full() []*workloads.Workload { return workloads.All() }
+
+// Quick returns the representative subset.
+func Quick() []*workloads.Workload {
+	names := []string{
+		"adpcm/small1", "basicmath/small", "bitcount/small", "crc32/small",
+		"dijkstra/small", "fft/small1", "gsm/small1", "jpeg/large1",
+		"patricia/small", "qsort/large", "sha/small", "stringsearch/small",
+		"susan/small2",
+	}
+	var out []*workloads.Workload
+	for _, n := range names {
+		if w := workloads.ByName(n); w != nil {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// compileWorkload compiles a workload source for a target/level.
+func compileWorkload(w *workloads.Workload, target *isa.Desc, level compiler.OptLevel) (*isa.Program, error) {
+	prog, err := hlc.Parse(w.Source)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", w.Name, err)
+	}
+	cp, err := hlc.Check(prog)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", w.Name, err)
+	}
+	out, err := compiler.Compile(cp, target, level)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", w.Name, err)
+	}
+	return out, nil
+}
+
+// runProgram executes a compiled program with an optional setup and hook.
+func runProgram(prog *isa.Program, setup func(*vm.VM) error, hook vm.Hook) (vm.Result, error) {
+	m := vm.New(prog)
+	if setup != nil {
+		if err := setup(m); err != nil {
+			return vm.Result{}, err
+		}
+	}
+	return m.Run(vm.Config{Hook: hook, MaxInstrs: 200_000_000})
+}
+
+// cloneInfo caches one workload's profile, clone, and synthesis report.
+type cloneInfo struct {
+	prof   *profile.Profile
+	clone  *hlc.Program
+	cloneC *hlc.CheckedProgram
+	report core.Report
+	source string
+}
+
+var (
+	cloneMu    sync.Mutex
+	cloneCache = map[string]*cloneInfo{}
+)
+
+// cloneOf profiles the workload at -O0 (as the paper prescribes) and
+// synthesizes its clone, caching the result for the whole process.
+func cloneOf(w *workloads.Workload) (*cloneInfo, error) {
+	cloneMu.Lock()
+	defer cloneMu.Unlock()
+	if ci, ok := cloneCache[w.Name]; ok {
+		return ci, nil
+	}
+	prog, err := compileWorkload(w, isa.AMD64, compiler.O0)
+	if err != nil {
+		return nil, err
+	}
+	prof, err := profile.Collect(prog, w.Setup, w.Name, profile.Options{})
+	if err != nil {
+		return nil, err
+	}
+	clone, rep, err := core.Synthesize(prof, core.Config{Seed: CloneSeed})
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", w.Name, err)
+	}
+	cp, err := hlc.Check(clone)
+	if err != nil {
+		return nil, fmt.Errorf("%s clone: %w", w.Name, err)
+	}
+	ci := &cloneInfo{
+		prof:   prof,
+		clone:  clone,
+		cloneC: cp,
+		report: rep,
+		source: hlc.Print(clone),
+	}
+	cloneCache[w.Name] = ci
+	return ci, nil
+}
+
+// compileClone compiles a cached clone for a target/level.
+func compileClone(ci *cloneInfo, target *isa.Desc, level compiler.OptLevel) (*isa.Program, error) {
+	return compiler.Compile(ci.cloneC, target, level)
+}
+
+// pairPrograms compiles both the original and the clone for target/level.
+func pairPrograms(w *workloads.Workload, target *isa.Desc, level compiler.OptLevel) (orig, syn *isa.Program, ci *cloneInfo, err error) {
+	ci, err = cloneOf(w)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	orig, err = compileWorkload(w, target, level)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	syn, err = compileClone(ci, target, level)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return orig, syn, ci, nil
+}

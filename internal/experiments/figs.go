@@ -1,0 +1,373 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/bpred"
+	"repro/internal/cache"
+	"repro/internal/compiler"
+	"repro/internal/isa"
+	"repro/internal/stats"
+	"repro/internal/vm"
+	"repro/internal/workloads"
+)
+
+// --- Fig. 4: reduction in dynamic instruction count ---
+
+// Fig4Row is one bar of Fig. 4.
+type Fig4Row struct {
+	Workload  string
+	OrigDyn   uint64
+	SynDyn    uint64
+	Reduction float64 // orig / syn
+}
+
+// Fig4Result is the full figure.
+type Fig4Result struct {
+	Rows         []Fig4Row
+	AvgReduction float64
+}
+
+// Fig4 measures original-vs-synthetic dynamic instruction counts.
+func Fig4(suite []*workloads.Workload) (*Fig4Result, error) {
+	res := &Fig4Result{}
+	var ratios []float64
+	for _, w := range suite {
+		ci, err := cloneOf(w)
+		if err != nil {
+			return nil, err
+		}
+		syn, err := compileClone(ci, isa.AMD64, compiler.O0)
+		if err != nil {
+			return nil, err
+		}
+		r, err := runProgram(syn, nil, nil)
+		if err != nil {
+			return nil, fmt.Errorf("%s clone: %w", w.Name, err)
+		}
+		row := Fig4Row{
+			Workload: w.Name,
+			OrigDyn:  ci.prof.TotalDyn,
+			SynDyn:   r.DynInstrs,
+		}
+		if r.DynInstrs > 0 {
+			row.Reduction = float64(ci.prof.TotalDyn) / float64(r.DynInstrs)
+		}
+		ratios = append(ratios, row.Reduction)
+		res.Rows = append(res.Rows, row)
+	}
+	res.AvgReduction = stats.Mean(ratios)
+	return res, nil
+}
+
+// Print renders the figure as a table.
+func (r *Fig4Result) Print(w io.Writer) {
+	fmt.Fprintf(w, "Fig. 4 — dynamic instruction count: original relative to synthetic\n")
+	fmt.Fprintf(w, "%-24s %14s %14s %10s\n", "workload", "original", "synthetic", "reduction")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-24s %14d %14d %9.1fx\n", row.Workload, row.OrigDyn, row.SynDyn, row.Reduction)
+	}
+	fmt.Fprintf(w, "%-24s %40.1fx\n", "AVERAGE", r.AvgReduction)
+}
+
+// --- Fig. 5: normalized dynamic instruction count across opt levels ---
+
+// Fig5Result carries the per-level averages, normalized to O0.
+type Fig5Result struct {
+	Levels []string
+	Orig   []float64
+	Syn    []float64
+}
+
+// Fig5 measures how the dynamic instruction count responds to the
+// optimization level for originals and clones.
+func Fig5(suite []*workloads.Workload) (*Fig5Result, error) {
+	res := &Fig5Result{}
+	perLevelOrig := make([][]float64, len(compiler.Levels))
+	perLevelSyn := make([][]float64, len(compiler.Levels))
+	for _, w := range suite {
+		var o0Orig, o0Syn float64
+		for li, level := range compiler.Levels {
+			orig, syn, _, err := pairPrograms(w, isa.AMD64, level)
+			if err != nil {
+				return nil, err
+			}
+			ro, err := runProgram(orig, w.Setup, nil)
+			if err != nil {
+				return nil, fmt.Errorf("%s %v: %w", w.Name, level, err)
+			}
+			rs, err := runProgram(syn, nil, nil)
+			if err != nil {
+				return nil, fmt.Errorf("%s clone %v: %w", w.Name, level, err)
+			}
+			if li == 0 {
+				o0Orig, o0Syn = float64(ro.DynInstrs), float64(rs.DynInstrs)
+			}
+			perLevelOrig[li] = append(perLevelOrig[li], float64(ro.DynInstrs)/o0Orig)
+			perLevelSyn[li] = append(perLevelSyn[li], float64(rs.DynInstrs)/o0Syn)
+		}
+	}
+	for li, level := range compiler.Levels {
+		res.Levels = append(res.Levels, level.String())
+		res.Orig = append(res.Orig, stats.Mean(perLevelOrig[li]))
+		res.Syn = append(res.Syn, stats.Mean(perLevelSyn[li]))
+	}
+	return res, nil
+}
+
+// Print renders the figure.
+func (r *Fig5Result) Print(w io.Writer) {
+	fmt.Fprintf(w, "Fig. 5 — normalized dynamic instruction count vs optimization level\n")
+	fmt.Fprintf(w, "%-10s %10s %10s\n", "level", "original", "synthetic")
+	for i := range r.Levels {
+		fmt.Fprintf(w, "%-10s %9.1f%% %9.1f%%\n", r.Levels[i], r.Orig[i]*100, r.Syn[i]*100)
+	}
+}
+
+// --- Fig. 6: instruction mix ---
+
+// MixRow holds loads/stores/branches/others fractions for one benchmark
+// family, original vs synthetic.
+type MixRow struct {
+	Name string
+	Orig [4]float64
+	Syn  [4]float64
+}
+
+// Fig6Result is the mix figure at one optimization level.
+type Fig6Result struct {
+	Level   string
+	Rows    []MixRow
+	Average MixRow
+}
+
+func measureMix(prog *isa.Program, setup func(*vm.VM) error) ([4]float64, error) {
+	var mix [isa.NumClasses]uint64
+	var total uint64
+	_, err := runProgram(prog, setup, func(ev *vm.Event) {
+		total++
+		mix[ev.Instr.Class()]++
+	})
+	var out [4]float64
+	if err != nil {
+		return out, err
+	}
+	t := float64(total)
+	out[0] = float64(mix[isa.ClassLoad]) / t
+	out[1] = float64(mix[isa.ClassStore]) / t
+	out[2] = float64(mix[isa.ClassBranch]) / t
+	out[3] = 1 - out[0] - out[1] - out[2]
+	return out, nil
+}
+
+// Fig6 measures the instruction mix per benchmark family at one level
+// (the paper shows O0 in Fig. 6(a) and O2 in Fig. 6(b)).
+func Fig6(suite []*workloads.Workload, level compiler.OptLevel) (*Fig6Result, error) {
+	res := &Fig6Result{Level: level.String()}
+	perBench := map[string][]*MixRow{}
+	var order []string
+	for _, w := range suite {
+		orig, syn, _, err := pairPrograms(w, isa.AMD64, level)
+		if err != nil {
+			return nil, err
+		}
+		om, err := measureMix(orig, w.Setup)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", w.Name, err)
+		}
+		sm, err := measureMix(syn, nil)
+		if err != nil {
+			return nil, fmt.Errorf("%s clone: %w", w.Name, err)
+		}
+		if _, ok := perBench[w.Bench]; !ok {
+			order = append(order, w.Bench)
+		}
+		perBench[w.Bench] = append(perBench[w.Bench], &MixRow{Name: w.Name, Orig: om, Syn: sm})
+	}
+	var avg MixRow
+	avg.Name = "average"
+	n := 0.0
+	for _, bench := range order {
+		var row MixRow
+		row.Name = bench
+		for _, m := range perBench[bench] {
+			for i := 0; i < 4; i++ {
+				row.Orig[i] += m.Orig[i] / float64(len(perBench[bench]))
+				row.Syn[i] += m.Syn[i] / float64(len(perBench[bench]))
+			}
+		}
+		for i := 0; i < 4; i++ {
+			avg.Orig[i] += row.Orig[i]
+			avg.Syn[i] += row.Syn[i]
+		}
+		n++
+		res.Rows = append(res.Rows, row)
+	}
+	for i := 0; i < 4; i++ {
+		avg.Orig[i] /= n
+		avg.Syn[i] /= n
+	}
+	res.Average = avg
+	return res, nil
+}
+
+// Print renders the figure.
+func (r *Fig6Result) Print(w io.Writer) {
+	fmt.Fprintf(w, "Fig. 6 — instruction mix at %s (loads/stores/branches/others)\n", r.Level)
+	fmt.Fprintf(w, "%-14s %32s %32s\n", "benchmark", "original", "synthetic")
+	rows := append(append([]MixRow(nil), r.Rows...), r.Average)
+	for _, row := range rows {
+		fmt.Fprintf(w, "%-14s %7.1f%% %7.1f%% %7.1f%% %7.1f%%  %7.1f%% %7.1f%% %7.1f%% %7.1f%%\n",
+			row.Name,
+			row.Orig[0]*100, row.Orig[1]*100, row.Orig[2]*100, row.Orig[3]*100,
+			row.Syn[0]*100, row.Syn[1]*100, row.Syn[2]*100, row.Syn[3]*100)
+	}
+}
+
+// --- Figs. 7 and 8: data cache hit rates across sizes ---
+
+// CacheRow is one benchmark's hit-rate sweep.
+type CacheRow struct {
+	Name string
+	Orig []float64
+	Syn  []float64
+}
+
+// FigCacheResult covers Fig. 7 (O0) or Fig. 8 (O2) depending on level.
+type FigCacheResult struct {
+	Level string
+	Sizes []string
+	Rows  []CacheRow
+}
+
+func measureCacheSweep(prog *isa.Program, setup func(*vm.VM) error) ([]float64, error) {
+	ms := cache.NewMultiSim(cache.SweepConfigs())
+	_, err := runProgram(prog, setup, func(ev *vm.Event) {
+		if ev.IsMem {
+			ms.Access(ev.Addr)
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []float64
+	for _, c := range ms.Caches {
+		out = append(out, c.Stats.HitRate())
+	}
+	return out, nil
+}
+
+// FigCache measures data-cache hit rates for 1KB..32KB caches, original vs
+// synthetic, at the given level (Fig. 7 uses O0, Fig. 8 uses O2).
+func FigCache(suite []*workloads.Workload, level compiler.OptLevel) (*FigCacheResult, error) {
+	res := &FigCacheResult{Level: level.String()}
+	for _, cfg := range cache.SweepConfigs() {
+		res.Sizes = append(res.Sizes, cfg.Name)
+	}
+	for _, w := range suite {
+		orig, syn, _, err := pairPrograms(w, isa.AMD64, level)
+		if err != nil {
+			return nil, err
+		}
+		oh, err := measureCacheSweep(orig, w.Setup)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", w.Name, err)
+		}
+		sh, err := measureCacheSweep(syn, nil)
+		if err != nil {
+			return nil, fmt.Errorf("%s clone: %w", w.Name, err)
+		}
+		res.Rows = append(res.Rows, CacheRow{Name: w.Name, Orig: oh, Syn: sh})
+	}
+	return res, nil
+}
+
+// Print renders the figure.
+func (r *FigCacheResult) Print(w io.Writer) {
+	fmt.Fprintf(w, "Figs. 7/8 — data cache hit rates at %s\n", r.Level)
+	fmt.Fprintf(w, "%-24s %-6s", "workload", "")
+	for _, s := range r.Sizes {
+		fmt.Fprintf(w, " %7s", s)
+	}
+	fmt.Fprintln(w)
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-24s %-6s", row.Name, "orig")
+		for _, h := range row.Orig {
+			fmt.Fprintf(w, " %6.2f%%", h*100)
+		}
+		fmt.Fprintln(w)
+		fmt.Fprintf(w, "%-24s %-6s", "", "syn")
+		for _, h := range row.Syn {
+			fmt.Fprintf(w, " %6.2f%%", h*100)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// --- Fig. 9: branch prediction accuracy ---
+
+// BranchRow is one benchmark's predictor accuracy.
+type BranchRow struct {
+	Name                         string
+	OrigO0, OrigO2, SynO0, SynO2 float64
+}
+
+// Fig9Result is the branch prediction figure.
+type Fig9Result struct {
+	Rows []BranchRow
+}
+
+func measureBranchAcc(prog *isa.Program, setup func(*vm.VM) error) (float64, error) {
+	meter := &bpred.Meter{P: bpred.DefaultHybrid()}
+	_, err := runProgram(prog, setup, func(ev *vm.Event) {
+		if ev.Instr.Op == isa.BR {
+			pc := uint64(ev.Func)<<24 ^ uint64(ev.Block)<<10 ^ uint64(ev.Index)
+			meter.Observe(pc, ev.Taken)
+		}
+	})
+	if err != nil {
+		return 0, err
+	}
+	return meter.S.Accuracy(), nil
+}
+
+// Fig9 measures hybrid-predictor accuracy for originals and clones at O0
+// and O2.
+func Fig9(suite []*workloads.Workload) (*Fig9Result, error) {
+	res := &Fig9Result{}
+	for _, w := range suite {
+		row := BranchRow{Name: w.Name}
+		for _, level := range []compiler.OptLevel{compiler.O0, compiler.O2} {
+			orig, syn, _, err := pairPrograms(w, isa.AMD64, level)
+			if err != nil {
+				return nil, err
+			}
+			oa, err := measureBranchAcc(orig, w.Setup)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", w.Name, err)
+			}
+			sa, err := measureBranchAcc(syn, nil)
+			if err != nil {
+				return nil, fmt.Errorf("%s clone: %w", w.Name, err)
+			}
+			if level == compiler.O0 {
+				row.OrigO0, row.SynO0 = oa, sa
+			} else {
+				row.OrigO2, row.SynO2 = oa, sa
+			}
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Print renders the figure.
+func (r *Fig9Result) Print(w io.Writer) {
+	fmt.Fprintf(w, "Fig. 9 — branch prediction accuracy (hybrid predictor)\n")
+	fmt.Fprintf(w, "%-24s %9s %9s %9s %9s\n", "workload", "orig -O0", "orig -O2", "syn -O0", "syn -O2")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-24s %8.2f%% %8.2f%% %8.2f%% %8.2f%%\n", row.Name,
+			row.OrigO0*100, row.OrigO2*100, row.SynO0*100, row.SynO2*100)
+	}
+}

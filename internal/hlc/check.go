@@ -1,0 +1,387 @@
+package hlc
+
+import "fmt"
+
+// CheckedProgram is a type-checked program together with the symbol
+// information the compiler front end needs.
+type CheckedProgram struct {
+	Prog *Program
+	// ExprTypes records the type of every expression node.
+	ExprTypes map[Expr]Type
+	// VarKinds records how each VarRef/IndexExpr name resolves in context;
+	// keyed by the expression node because names may shadow.
+	Resolved map[Expr]*Symbol
+	// LocalsOf lists the local variables (including parameters) per function.
+	LocalsOf map[*FuncDecl][]*Symbol
+}
+
+// SymbolKind distinguishes storage classes.
+type SymbolKind int
+
+// Symbol storage classes.
+const (
+	SymGlobal SymbolKind = iota
+	SymLocal
+	SymParam
+)
+
+// Symbol describes a resolved variable.
+type Symbol struct {
+	Name     string
+	Kind     SymbolKind
+	Type     Type
+	ArrayLen int // >0 only for globals
+	Decl     *VarDecl
+	Index    int // parameter index, or per-function local slot order
+}
+
+type checker struct {
+	prog    *Program
+	out     *CheckedProgram
+	globals map[string]*Symbol
+	scopes  []map[string]*Symbol
+	fn      *FuncDecl
+	loops   int
+	errs    []error
+}
+
+// Check type checks a parsed program. All errors found are joined into the
+// returned error; on success the CheckedProgram carries resolution results.
+func Check(prog *Program) (*CheckedProgram, error) {
+	c := &checker{
+		prog: prog,
+		out: &CheckedProgram{
+			Prog:      prog,
+			ExprTypes: make(map[Expr]Type),
+			Resolved:  make(map[Expr]*Symbol),
+			LocalsOf:  make(map[*FuncDecl][]*Symbol),
+		},
+		globals: make(map[string]*Symbol),
+	}
+	for _, g := range prog.Globals {
+		if _, dup := c.globals[g.Name]; dup {
+			c.errorf(g.Pos, "duplicate global %s", g.Name)
+			continue
+		}
+		if g.Init != nil {
+			t := c.exprType(g.Init)
+			if !assignable(g.Type, t) {
+				c.errorf(g.Pos, "cannot initialize %s %s with %s", g.Type, g.Name, t)
+			}
+		}
+		c.globals[g.Name] = &Symbol{Name: g.Name, Kind: SymGlobal, Type: g.Type, ArrayLen: g.ArrayLen, Decl: g}
+	}
+	seenFn := make(map[string]bool)
+	for _, fn := range prog.Funcs {
+		if seenFn[fn.Name] {
+			c.errorf(fn.Pos, "duplicate function %s", fn.Name)
+		}
+		seenFn[fn.Name] = true
+		if _, isBuiltin := Builtins[fn.Name]; isBuiltin {
+			c.errorf(fn.Pos, "function %s shadows a builtin", fn.Name)
+		}
+	}
+	for _, fn := range prog.Funcs {
+		c.checkFunc(fn)
+	}
+	if prog.Func("main") == nil {
+		c.errs = append(c.errs, fmt.Errorf("hlc: program has no main function"))
+	}
+	if len(c.errs) > 0 {
+		return nil, joinErrors(c.errs)
+	}
+	return c.out, nil
+}
+
+// MustCheck parses and checks src, panicking on any error. For tests and
+// embedded workloads.
+func MustCheck(src string) *CheckedProgram {
+	cp, err := Check(MustParse(src))
+	if err != nil {
+		panic(err)
+	}
+	return cp
+}
+
+func joinErrors(errs []error) error {
+	if len(errs) == 1 {
+		return errs[0]
+	}
+	msg := errs[0].Error()
+	for _, e := range errs[1:] {
+		msg += "\n" + e.Error()
+	}
+	return fmt.Errorf("%s", msg)
+}
+
+func (c *checker) errorf(pos Pos, format string, args ...any) {
+	c.errs = append(c.errs, fmt.Errorf("hlc: %v: %s", pos, fmt.Sprintf(format, args...)))
+}
+
+func assignable(dst, src Type) bool {
+	if dst == src {
+		return true
+	}
+	// Implicit int->float widening, as in C.
+	return dst == TypeFloat && src == TypeInt
+}
+
+func (c *checker) checkFunc(fn *FuncDecl) {
+	c.fn = fn
+	c.scopes = []map[string]*Symbol{make(map[string]*Symbol)}
+	c.loops = 0
+	for i, prm := range fn.Params {
+		sym := &Symbol{Name: prm.Name, Kind: SymParam, Type: prm.Type, Index: i}
+		if _, dup := c.scopes[0][prm.Name]; dup {
+			c.errorf(fn.Pos, "duplicate parameter %s", prm.Name)
+		}
+		c.scopes[0][prm.Name] = sym
+		c.out.LocalsOf[fn] = append(c.out.LocalsOf[fn], sym)
+	}
+	c.checkBlock(fn.Body)
+	c.fn = nil
+}
+
+func (c *checker) push() { c.scopes = append(c.scopes, make(map[string]*Symbol)) }
+func (c *checker) pop()  { c.scopes = c.scopes[:len(c.scopes)-1] }
+
+func (c *checker) lookup(name string) *Symbol {
+	for i := len(c.scopes) - 1; i >= 0; i-- {
+		if s, ok := c.scopes[i][name]; ok {
+			return s
+		}
+	}
+	return c.globals[name]
+}
+
+func (c *checker) declareLocal(d *VarDecl) {
+	top := c.scopes[len(c.scopes)-1]
+	if _, dup := top[d.Name]; dup {
+		c.errorf(d.Pos, "duplicate local %s", d.Name)
+		return
+	}
+	sym := &Symbol{Name: d.Name, Kind: SymLocal, Type: d.Type, Decl: d,
+		Index: len(c.out.LocalsOf[c.fn])}
+	top[d.Name] = sym
+	c.out.LocalsOf[c.fn] = append(c.out.LocalsOf[c.fn], sym)
+}
+
+func (c *checker) checkBlock(b *Block) {
+	c.push()
+	for _, s := range b.Stmts {
+		c.checkStmt(s)
+	}
+	c.pop()
+}
+
+func (c *checker) checkStmt(s Stmt) {
+	switch st := s.(type) {
+	case *Block:
+		c.checkBlock(st)
+	case *DeclStmt:
+		if st.Decl.Init != nil {
+			t := c.exprType(st.Decl.Init)
+			if !assignable(st.Decl.Type, t) {
+				c.errorf(st.Decl.Pos, "cannot initialize %s %s with %s", st.Decl.Type, st.Decl.Name, t)
+			}
+		}
+		c.declareLocal(st.Decl)
+	case *AssignStmt:
+		lt := c.exprType(st.LHS)
+		rt := c.exprType(st.RHS)
+		if st.Op == Assign {
+			if !assignable(lt, rt) {
+				c.errorf(st.Pos, "cannot assign %s to %s", rt, lt)
+			}
+		} else {
+			// Compound assignments: bitwise/shift/mod require int on both sides.
+			switch st.Op {
+			case PercentEq, AmpEq, PipeEq, CaretEq, ShlEq, ShrEq:
+				if lt != TypeInt || rt != TypeInt {
+					c.errorf(st.Pos, "operator %v requires int operands", st.Op)
+				}
+			default:
+				if !assignable(lt, rt) {
+					c.errorf(st.Pos, "cannot apply %v with %s to %s", st.Op, rt, lt)
+				}
+			}
+		}
+	case *IfStmt:
+		if t := c.exprType(st.Cond); t == TypeVoid {
+			c.errorf(st.Pos, "if condition has no value")
+		}
+		c.checkBlock(st.Then)
+		if st.Else != nil {
+			c.checkBlock(st.Else)
+		}
+	case *ForStmt:
+		c.push()
+		if st.Init != nil {
+			c.checkStmt(st.Init)
+		}
+		if st.Cond != nil {
+			if t := c.exprType(st.Cond); t == TypeVoid {
+				c.errorf(st.Pos, "for condition has no value")
+			}
+		}
+		c.loops++
+		c.checkBlock(st.Body)
+		c.loops--
+		if st.Post != nil {
+			c.checkStmt(st.Post)
+		}
+		c.pop()
+	case *WhileStmt:
+		if t := c.exprType(st.Cond); t == TypeVoid {
+			c.errorf(st.Pos, "while condition has no value")
+		}
+		c.loops++
+		c.checkBlock(st.Body)
+		c.loops--
+	case *BreakStmt:
+		if c.loops == 0 {
+			c.errorf(st.Pos, "break outside loop")
+		}
+	case *ContinueStmt:
+		if c.loops == 0 {
+			c.errorf(st.Pos, "continue outside loop")
+		}
+	case *ReturnStmt:
+		want := c.fn.Ret
+		if st.X == nil {
+			if want != TypeVoid {
+				c.errorf(st.Pos, "missing return value in %s", c.fn.Name)
+			}
+			return
+		}
+		got := c.exprType(st.X)
+		if want == TypeVoid {
+			c.errorf(st.Pos, "void function %s returns a value", c.fn.Name)
+		} else if !assignable(want, got) {
+			c.errorf(st.Pos, "function %s returns %s, got %s", c.fn.Name, want, got)
+		}
+	case *PrintStmt:
+		for _, a := range st.Args {
+			if t := c.exprType(a); t == TypeVoid {
+				c.errorf(st.Pos, "cannot print void value")
+			}
+		}
+	case *ExprStmt:
+		c.exprType(st.X)
+	default:
+		panic(fmt.Sprintf("hlc: unknown statement %T", s))
+	}
+}
+
+func (c *checker) exprType(e Expr) Type {
+	t := c.exprType1(e)
+	c.out.ExprTypes[e] = t
+	return t
+}
+
+func (c *checker) exprType1(e Expr) Type {
+	switch x := e.(type) {
+	case *IntLit:
+		return TypeInt
+	case *FloatLit:
+		return TypeFloat
+	case *VarRef:
+		sym := c.lookup(x.Name)
+		if sym == nil {
+			c.errorf(x.Pos, "undefined variable %s", x.Name)
+			return TypeInt
+		}
+		if sym.ArrayLen > 0 {
+			c.errorf(x.Pos, "array %s used without index", x.Name)
+		}
+		c.out.Resolved[x] = sym
+		return sym.Type
+	case *IndexExpr:
+		sym := c.lookup(x.Name)
+		if sym == nil {
+			c.errorf(x.Pos, "undefined array %s", x.Name)
+			return TypeInt
+		}
+		if sym.ArrayLen == 0 {
+			c.errorf(x.Pos, "%s is not an array", x.Name)
+		}
+		if t := c.exprType(x.Idx); t != TypeInt {
+			c.errorf(x.Pos, "array index must be int, got %s", t)
+		}
+		c.out.Resolved[x] = sym
+		return sym.Type
+	case *UnaryExpr:
+		t := c.exprType(x.X)
+		switch x.Op {
+		case Minus:
+			return t
+		case Not:
+			if t == TypeVoid {
+				c.errorf(x.Pos, "! requires a value")
+			}
+			return TypeInt
+		case Tilde:
+			if t != TypeInt {
+				c.errorf(x.Pos, "~ requires int operand")
+			}
+			return TypeInt
+		}
+		c.errorf(x.Pos, "bad unary operator %v", x.Op)
+		return TypeInt
+	case *BinaryExpr:
+		xt := c.exprType(x.X)
+		yt := c.exprType(x.Y)
+		switch x.Op {
+		case Plus, Minus, Star, Slash:
+			if xt == TypeFloat || yt == TypeFloat {
+				return TypeFloat
+			}
+			return TypeInt
+		case Percent, Amp, Pipe, Caret, Shl, Shr:
+			if xt != TypeInt || yt != TypeInt {
+				c.errorf(x.Pos, "operator %v requires int operands", x.Op)
+			}
+			return TypeInt
+		case Eq, Neq, Lt, Le, Gt, Ge:
+			if (xt == TypeVoid) || (yt == TypeVoid) {
+				c.errorf(x.Pos, "comparison of void value")
+			}
+			return TypeInt
+		case LAnd, LOr:
+			if xt == TypeVoid || yt == TypeVoid {
+				c.errorf(x.Pos, "logical operator on void value")
+			}
+			return TypeInt
+		}
+		c.errorf(x.Pos, "bad binary operator %v", x.Op)
+		return TypeInt
+	case *CallExpr:
+		if b, ok := Builtins[x.Name]; ok {
+			if len(x.Args) != b.Arity {
+				c.errorf(x.Pos, "%s expects %d argument(s), got %d", x.Name, b.Arity, len(x.Args))
+			}
+			for _, a := range x.Args {
+				if at := c.exprType(a); !assignable(b.ArgTyp, at) {
+					c.errorf(x.Pos, "%s argument has type %s, want %s", x.Name, at, b.ArgTyp)
+				}
+			}
+			return b.Ret
+		}
+		fn := c.prog.Func(x.Name)
+		if fn == nil {
+			c.errorf(x.Pos, "undefined function %s", x.Name)
+			return TypeInt
+		}
+		if len(x.Args) != len(fn.Params) {
+			c.errorf(x.Pos, "%s expects %d argument(s), got %d", x.Name, len(fn.Params), len(x.Args))
+		}
+		for i, a := range x.Args {
+			at := c.exprType(a)
+			if i < len(fn.Params) && !assignable(fn.Params[i].Type, at) {
+				c.errorf(x.Pos, "argument %d of %s has type %s, want %s", i+1, x.Name, at, fn.Params[i].Type)
+			}
+		}
+		return fn.Ret
+	}
+	panic(fmt.Sprintf("hlc: unknown expression %T", e))
+}

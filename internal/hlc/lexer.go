@@ -1,0 +1,203 @@
+package hlc
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Lexer turns HLC source text into a stream of Lexemes. It supports // line
+// comments and /* block */ comments.
+type Lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+}
+
+// NewLexer returns a lexer over src.
+func NewLexer(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+// Tokenize lexes an entire source text. It is the convenience entry point
+// used by the parser and the plagiarism fingerprinter.
+func Tokenize(src string) ([]Lexeme, error) {
+	lx := NewLexer(src)
+	var out []Lexeme
+	for {
+		l, err := lx.Next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, l)
+		if l.Tok == EOF {
+			return out, nil
+		}
+	}
+}
+
+func (lx *Lexer) peek() byte {
+	if lx.off >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.off]
+}
+
+func (lx *Lexer) peek2() byte {
+	if lx.off+1 >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.off+1]
+}
+
+func (lx *Lexer) advance() byte {
+	c := lx.src[lx.off]
+	lx.off++
+	if c == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return c
+}
+
+func (lx *Lexer) skipSpaceAndComments() error {
+	for lx.off < len(lx.src) {
+		c := lx.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			lx.advance()
+		case c == '/' && lx.peek2() == '/':
+			for lx.off < len(lx.src) && lx.peek() != '\n' {
+				lx.advance()
+			}
+		case c == '/' && lx.peek2() == '*':
+			start := Pos{lx.line, lx.col}
+			lx.advance()
+			lx.advance()
+			for {
+				if lx.off >= len(lx.src) {
+					return fmt.Errorf("hlc: %v: unterminated block comment", start)
+				}
+				if lx.peek() == '*' && lx.peek2() == '/' {
+					lx.advance()
+					lx.advance()
+					break
+				}
+				lx.advance()
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+func isDigit(c byte) bool  { return c >= '0' && c <= '9' }
+func isAlpha(c byte) bool  { return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') }
+func isAlnum(c byte) bool  { return isAlpha(c) || isDigit(c) }
+func isHexDig(c byte) bool { return isDigit(c) || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F') }
+
+// Next returns the next lexeme, or an EOF lexeme at end of input.
+func (lx *Lexer) Next() (Lexeme, error) {
+	if err := lx.skipSpaceAndComments(); err != nil {
+		return Lexeme{}, err
+	}
+	pos := Pos{lx.line, lx.col}
+	if lx.off >= len(lx.src) {
+		return Lexeme{Tok: EOF, Pos: pos}, nil
+	}
+	c := lx.peek()
+	switch {
+	case isDigit(c):
+		return lx.number(pos)
+	case isAlpha(c):
+		start := lx.off
+		for lx.off < len(lx.src) && isAlnum(lx.peek()) {
+			lx.advance()
+		}
+		text := lx.src[start:lx.off]
+		if kw, ok := keywords[text]; ok {
+			return Lexeme{Tok: kw, Text: text, Pos: pos}, nil
+		}
+		return Lexeme{Tok: IDENT, Text: text, Pos: pos}, nil
+	}
+	return lx.operator(pos)
+}
+
+func (lx *Lexer) number(pos Pos) (Lexeme, error) {
+	start := lx.off
+	if lx.peek() == '0' && (lx.peek2() == 'x' || lx.peek2() == 'X') {
+		lx.advance()
+		lx.advance()
+		if !isHexDig(lx.peek()) {
+			return Lexeme{}, fmt.Errorf("hlc: %v: malformed hex literal", pos)
+		}
+		for lx.off < len(lx.src) && isHexDig(lx.peek()) {
+			lx.advance()
+		}
+		return Lexeme{Tok: INTLIT, Text: lx.src[start:lx.off], Pos: pos}, nil
+	}
+	for lx.off < len(lx.src) && isDigit(lx.peek()) {
+		lx.advance()
+	}
+	isFloat := false
+	if lx.peek() == '.' && isDigit(lx.peek2()) {
+		isFloat = true
+		lx.advance()
+		for lx.off < len(lx.src) && isDigit(lx.peek()) {
+			lx.advance()
+		}
+	}
+	if lx.peek() == 'e' || lx.peek() == 'E' {
+		save := lx.off
+		lx.advance()
+		if lx.peek() == '+' || lx.peek() == '-' {
+			lx.advance()
+		}
+		if isDigit(lx.peek()) {
+			isFloat = true
+			for lx.off < len(lx.src) && isDigit(lx.peek()) {
+				lx.advance()
+			}
+		} else {
+			lx.off = save // not an exponent; leave 'e' for the ident lexer
+		}
+	}
+	tok := INTLIT
+	if isFloat {
+		tok = FLOATLIT
+	}
+	return Lexeme{Tok: tok, Text: lx.src[start:lx.off], Pos: pos}, nil
+}
+
+// operator table ordered longest-first so maximal munch falls out of the scan.
+var operators = []struct {
+	text string
+	tok  Token
+}{
+	{"<<=", ShlEq}, {">>=", ShrEq},
+	{"<<", Shl}, {">>", Shr}, {"<=", Le}, {">=", Ge}, {"==", Eq}, {"!=", Neq},
+	{"&&", LAnd}, {"||", LOr}, {"+=", PlusEq}, {"-=", MinusEq}, {"*=", StarEq},
+	{"/=", SlashEq}, {"%=", PercentEq}, {"&=", AmpEq}, {"|=", PipeEq}, {"^=", CaretEq},
+	{"++", Inc}, {"--", Dec},
+	{"(", LParen}, {")", RParen}, {"{", LBrace}, {"}", RBrace},
+	{"[", LBracket}, {"]", RBracket}, {",", Comma}, {";", Semicolon},
+	{"=", Assign}, {"<", Lt}, {">", Gt}, {"+", Plus}, {"-", Minus},
+	{"*", Star}, {"/", Slash}, {"%", Percent}, {"&", Amp}, {"|", Pipe},
+	{"^", Caret}, {"!", Not}, {"~", Tilde},
+}
+
+func (lx *Lexer) operator(pos Pos) (Lexeme, error) {
+	rest := lx.src[lx.off:]
+	for _, op := range operators {
+		if strings.HasPrefix(rest, op.text) {
+			for range op.text {
+				lx.advance()
+			}
+			return Lexeme{Tok: op.tok, Text: op.text, Pos: pos}, nil
+		}
+	}
+	return Lexeme{}, fmt.Errorf("hlc: %v: unexpected character %q", pos, lx.peek())
+}

@@ -1,0 +1,127 @@
+package hlc
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTokenizeOperators(t *testing.T) {
+	src := "<<= >>= << >> <= >= == != && || += -= *= /= %= &= |= ^= ++ -- = < > + - * / % & | ^ ! ~"
+	want := []Token{
+		ShlEq, ShrEq, Shl, Shr, Le, Ge, Eq, Neq, LAnd, LOr,
+		PlusEq, MinusEq, StarEq, SlashEq, PercentEq, AmpEq, PipeEq, CaretEq,
+		Inc, Dec, Assign, Lt, Gt, Plus, Minus, Star, Slash, Percent, Amp, Pipe,
+		Caret, Not, Tilde, EOF,
+	}
+	toks, err := Tokenize(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(toks) != len(want) {
+		t.Fatalf("got %d tokens, want %d", len(toks), len(want))
+	}
+	for i, w := range want {
+		if toks[i].Tok != w {
+			t.Errorf("token %d: got %v, want %v", i, toks[i].Tok, w)
+		}
+	}
+}
+
+func TestTokenizeKeywordsAndIdents(t *testing.T) {
+	toks, err := Tokenize("int floaty while whiles return print printx")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Token{KwInt, IDENT, KwWhile, IDENT, KwReturn, KwPrint, IDENT, EOF}
+	for i, w := range want {
+		if toks[i].Tok != w {
+			t.Errorf("token %d (%q): got %v, want %v", i, toks[i].Text, toks[i].Tok, w)
+		}
+	}
+}
+
+func TestTokenizeNumbers(t *testing.T) {
+	cases := []struct {
+		src  string
+		tok  Token
+		text string
+	}{
+		{"42", INTLIT, "42"},
+		{"0", INTLIT, "0"},
+		{"0xff", INTLIT, "0xff"},
+		{"0XDEADBEEF", INTLIT, "0XDEADBEEF"},
+		{"3.25", FLOATLIT, "3.25"},
+		{"1e9", FLOATLIT, "1e9"},
+		{"2.5e-3", FLOATLIT, "2.5e-3"},
+	}
+	for _, tc := range cases {
+		toks, err := Tokenize(tc.src)
+		if err != nil {
+			t.Fatalf("%q: %v", tc.src, err)
+		}
+		if toks[0].Tok != tc.tok || toks[0].Text != tc.text {
+			t.Errorf("%q: got (%v,%q), want (%v,%q)", tc.src, toks[0].Tok, toks[0].Text, tc.tok, tc.text)
+		}
+	}
+}
+
+func TestTokenizeEFollowedByIdent(t *testing.T) {
+	// "3e" is not a float; the 'e' must be left for the next token.
+	toks, err := Tokenize("3 exp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Tok != INTLIT || toks[1].Tok != IDENT || toks[1].Text != "exp" {
+		t.Fatalf("unexpected tokens: %+v", toks)
+	}
+}
+
+func TestTokenizeComments(t *testing.T) {
+	src := `
+// a line comment
+int x; /* block
+comment */ int y;`
+	toks, err := Tokenize(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []Token
+	for _, tk := range toks {
+		kinds = append(kinds, tk.Tok)
+	}
+	want := []Token{KwInt, IDENT, Semicolon, KwInt, IDENT, Semicolon, EOF}
+	if len(kinds) != len(want) {
+		t.Fatalf("got %v, want %v", kinds, want)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("got %v, want %v", kinds, want)
+		}
+	}
+}
+
+func TestTokenizeUnterminatedComment(t *testing.T) {
+	if _, err := Tokenize("int x; /* never closed"); err == nil {
+		t.Fatal("expected error for unterminated comment")
+	}
+}
+
+func TestTokenizeBadChar(t *testing.T) {
+	if _, err := Tokenize("int @x;"); err == nil || !strings.Contains(err.Error(), "unexpected character") {
+		t.Fatalf("expected unexpected-character error, got %v", err)
+	}
+}
+
+func TestTokenizePositions(t *testing.T) {
+	toks, err := Tokenize("int x;\n  x = 3;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Pos != (Pos{1, 1}) {
+		t.Errorf("first token pos = %v, want 1:1", toks[0].Pos)
+	}
+	// "x" on line 2 begins at column 3.
+	if toks[3].Pos != (Pos{2, 3}) {
+		t.Errorf("token %q pos = %v, want 2:3", toks[3].Text, toks[3].Pos)
+	}
+}

@@ -1,0 +1,131 @@
+// Package hlc implements HLC ("high-level C"), the small C-like language in
+// which both the original workloads and the synthetic benchmark clones are
+// expressed. HLC plays the role C plays in the paper: workloads are written
+// in it, the synthesizer emits it, the compiler consumes it, and the
+// plagiarism checker fingerprints it.
+//
+// The language is a strict subset of C in spirit: global scalars and
+// fixed-size arrays of int/float, functions with scalar parameters and
+// scalar/void results, if/else, for, while, break/continue/return, the usual
+// expression operators with C precedence, and a print builtin used as an
+// observable side effect (the paper uses printf the same way, to keep the
+// compiler from deleting computation).
+package hlc
+
+import "fmt"
+
+// Token identifies a lexical token kind.
+type Token int
+
+// Token kinds. The order within the operator groups is relied upon by the
+// parser's precedence tables; keep new tokens out of those ranges.
+const (
+	EOF Token = iota
+	IDENT
+	INTLIT
+	FLOATLIT
+
+	// Keywords.
+	KwInt
+	KwFloat
+	KwVoid
+	KwIf
+	KwElse
+	KwFor
+	KwWhile
+	KwBreak
+	KwContinue
+	KwReturn
+	KwPrint
+
+	// Punctuation.
+	LParen
+	RParen
+	LBrace
+	RBrace
+	LBracket
+	RBracket
+	Comma
+	Semicolon
+
+	// Operators.
+	Assign    // =
+	PlusEq    // +=
+	MinusEq   // -=
+	StarEq    // *=
+	SlashEq   // /=
+	PercentEq // %=
+	AmpEq     // &=
+	PipeEq    // |=
+	CaretEq   // ^=
+	ShlEq     // <<=
+	ShrEq     // >>=
+	Inc       // ++
+	Dec       // --
+
+	LOr   // ||
+	LAnd  // &&
+	Pipe  // |
+	Caret // ^
+	Amp   // &
+	Eq    // ==
+	Neq   // !=
+	Lt    // <
+	Le    // <=
+	Gt    // >
+	Ge    // >=
+	Shl   // <<
+	Shr   // >>
+	Plus  // +
+	Minus // -
+	Star  // *
+	Slash // /
+	Percent
+	Not   // !
+	Tilde // ~
+)
+
+var tokenNames = map[Token]string{
+	EOF: "EOF", IDENT: "identifier", INTLIT: "int literal", FLOATLIT: "float literal",
+	KwInt: "int", KwFloat: "float", KwVoid: "void", KwIf: "if", KwElse: "else",
+	KwFor: "for", KwWhile: "while", KwBreak: "break", KwContinue: "continue",
+	KwReturn: "return", KwPrint: "print",
+	LParen: "(", RParen: ")", LBrace: "{", RBrace: "}", LBracket: "[", RBracket: "]",
+	Comma: ",", Semicolon: ";",
+	Assign: "=", PlusEq: "+=", MinusEq: "-=", StarEq: "*=", SlashEq: "/=",
+	PercentEq: "%=", AmpEq: "&=", PipeEq: "|=", CaretEq: "^=", ShlEq: "<<=", ShrEq: ">>=",
+	Inc: "++", Dec: "--",
+	LOr: "||", LAnd: "&&", Pipe: "|", Caret: "^", Amp: "&",
+	Eq: "==", Neq: "!=", Lt: "<", Le: "<=", Gt: ">", Ge: ">=",
+	Shl: "<<", Shr: ">>", Plus: "+", Minus: "-", Star: "*", Slash: "/",
+	Percent: "%", Not: "!", Tilde: "~",
+}
+
+// String returns the source spelling (or a description) of the token.
+func (t Token) String() string {
+	if s, ok := tokenNames[t]; ok {
+		return s
+	}
+	return fmt.Sprintf("Token(%d)", int(t))
+}
+
+var keywords = map[string]Token{
+	"int": KwInt, "float": KwFloat, "void": KwVoid,
+	"if": KwIf, "else": KwElse, "for": KwFor, "while": KwWhile,
+	"break": KwBreak, "continue": KwContinue, "return": KwReturn,
+	"print": KwPrint,
+}
+
+// Pos is a source position, 1-based.
+type Pos struct {
+	Line, Col int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Lexeme is a token together with its spelling and position.
+type Lexeme struct {
+	Tok  Token
+	Text string
+	Pos  Pos
+}

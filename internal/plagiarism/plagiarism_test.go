@@ -1,0 +1,173 @@
+package plagiarism
+
+import (
+	"strings"
+	"testing"
+)
+
+const progA = `
+int data[64];
+int total;
+int process(int n) {
+  int acc = 0;
+  for (int i = 0; i < n; i++) {
+    acc += data[i] * 3;
+    if (acc > 1000) { acc -= 500; }
+  }
+  return acc;
+}
+void main() {
+  for (int i = 0; i < 64; i++) { data[i] = i; }
+  total = process(64);
+  print(total);
+}`
+
+// progARenamed is progA with every identifier and constant changed —
+// classic plagiarism.
+const progARenamed = `
+int zq[64];
+int wv;
+int crunch(int m) {
+  int s = 0;
+  for (int k = 0; k < m; k++) {
+    s += zq[k] * 7;
+    if (s > 900) { s -= 123; }
+  }
+  return s;
+}
+void main() {
+  for (int k = 0; k < 64; k++) { zq[k] = k; }
+  wv = crunch(64);
+  print(wv);
+}`
+
+// progB is a structurally different program.
+const progB = `
+float wave[128];
+float power(float x) { return x * x; }
+void main() {
+  float e = 0.0;
+  int j = 0;
+  while (j < 128) {
+    wave[j] = sin(itof(j) * 0.1);
+    e = e + power(wave[j]);
+    j++;
+  }
+  print(sqrt(e));
+  print(e / 128.0);
+}`
+
+func TestSelfSimilarityIsFull(t *testing.T) {
+	sim, err := CompareSources(progA, progA, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.Score() < 0.9999 {
+		t.Errorf("self similarity = %.3f, want 1.0", sim.Score())
+	}
+}
+
+func TestRenamedCopyIsDetected(t *testing.T) {
+	// Moss's key property: renaming identifiers and tweaking constants
+	// must not hide a copied structure.
+	sim, err := CompareSources(progA, progARenamed, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.Score() < 0.85 {
+		t.Errorf("renamed copy similarity = %.3f, want > 0.85", sim.Score())
+	}
+}
+
+func TestDifferentProgramsAreDissimilar(t *testing.T) {
+	sim, err := CompareSources(progA, progB, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.Score() > 0.35 {
+		t.Errorf("unrelated programs similarity = %.3f, want low", sim.Score())
+	}
+}
+
+func TestPartialCopyScoresBetween(t *testing.T) {
+	// progB with progA's process() spliced in: containment of A should
+	// land strictly between the unrelated and identical extremes.
+	hybrid := progB + `
+int data[64];
+int process(int n) {
+  int acc = 0;
+  for (int i = 0; i < n; i++) {
+    acc += data[i] * 3;
+    if (acc > 1000) { acc -= 500; }
+  }
+  return acc;
+}`
+	simAB, err := CompareSources(progA, progB, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	simAH, err := CompareSources(progA, hybrid, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if simAH.AContainment <= simAB.AContainment {
+		t.Errorf("splicing in code should raise containment: %.3f vs %.3f",
+			simAH.AContainment, simAB.AContainment)
+	}
+	if simAH.AContainment < 0.3 {
+		t.Errorf("copied function should be visible: containment %.3f", simAH.AContainment)
+	}
+}
+
+func TestShortInputs(t *testing.T) {
+	fp, err := File("void main() { }", DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := Compare(fp, fp)
+	if fp.Size() > 0 && sim.Score() != 1 {
+		t.Errorf("tiny file self-similarity = %v", sim.Score())
+	}
+	empty, err := File("", DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if empty.Size() != 0 {
+		t.Errorf("empty file should have no fingerprints, got %d", empty.Size())
+	}
+	simE := Compare(empty, fp)
+	if simE.Score() != 0 {
+		t.Errorf("empty vs nonempty similarity = %v, want 0", simE.Score())
+	}
+}
+
+func TestLexErrorPropagates(t *testing.T) {
+	if _, err := File("int @ x;", DefaultOptions()); err == nil ||
+		!strings.Contains(err.Error(), "unexpected character") {
+		t.Errorf("expected lexer error, got %v", err)
+	}
+}
+
+func TestGuaranteeThreshold(t *testing.T) {
+	// Winnowing guarantee: any shared run of at least K+W-1 tokens leaves
+	// at least one shared fingerprint.
+	opts := Options{K: 5, W: 3}
+	shared := "x = a + b * c - d / 2; y = x + a;"
+	docA := "void main() { int x; int y; int a; int b; int c; int d; " + shared + " }"
+	docB := "void main() { int a; int b; int c; int d; int x; int y; print(a); " + shared + " print(y); }"
+	sim, err := CompareSources(docA, docB, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.Shared == 0 {
+		t.Error("shared run left no shared fingerprints")
+	}
+}
+
+func TestFingerprintDeterminism(t *testing.T) {
+	a1, _ := File(progA, DefaultOptions())
+	a2, _ := File(progA, DefaultOptions())
+	if a1.Size() != a2.Size() || Compare(a1, a2).Score() != 1 {
+		t.Error("fingerprinting is not deterministic")
+	}
+}

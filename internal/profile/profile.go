@@ -1,0 +1,304 @@
+// Package profile implements the profiling step of the framework
+// (Section III.A): it executes a workload compiled at a low optimization
+// level under the VM's instrumentation hook (the Pin substitute) and
+// produces the statistical profile — the SFGL with loop annotation, branch
+// taken/transition rates, per-access cache behavior quantized into the
+// Table I classes, and the instruction mix.
+package profile
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/cache"
+	"repro/internal/ir"
+	"repro/internal/isa"
+	"repro/internal/sfgl"
+	"repro/internal/vm"
+)
+
+// Options configures profiling.
+type Options struct {
+	// Cache is the configuration simulated during profiling to classify
+	// memory accesses (Section III.A.3). The zero value selects the
+	// default 8KB 2-way cache with 32-byte lines.
+	Cache cache.Config
+	// MaxInstrs bounds the profiled execution (0 = VM default).
+	MaxInstrs uint64
+}
+
+// DefaultCache is the profiling cache configuration.
+var DefaultCache = cache.Config{Name: "profile-8KB", Size: 8 * 1024, LineSize: 32, Assoc: 2}
+
+// Profile is the statistical profile of one workload execution.
+type Profile struct {
+	Workload string      `json:"workload"`
+	Graph    *sfgl.Graph `json:"graph"`
+	TotalDyn uint64      `json:"totalDyn"`
+	// Mix counts executed instructions per class.
+	Mix [isa.NumClasses]uint64 `json:"mix"`
+	// CacheCfg documents the profiling cache.
+	CacheCfg cache.Config `json:"cacheCfg"`
+	// Output of the profiled run (for sanity checks).
+	OutputHash uint64 `json:"outputHash"`
+}
+
+// MixFractions returns the instruction-mix fractions of Fig. 6: loads,
+// stores, branches (conditional), and everything else.
+func (p *Profile) MixFractions() (loads, stores, branches, others float64) {
+	total := float64(p.TotalDyn)
+	if total == 0 {
+		return 0, 0, 0, 0
+	}
+	loads = float64(p.Mix[isa.ClassLoad]) / total
+	stores = float64(p.Mix[isa.ClassStore]) / total
+	branches = float64(p.Mix[isa.ClassBranch]) / total
+	others = 1 - loads - stores - branches
+	return loads, stores, branches, others
+}
+
+// blockKey identifies a static basic block.
+type blockKey struct{ fn, block int }
+
+// memStat tracks one static memory instruction's cache behavior.
+type memStat struct {
+	accesses, misses uint64
+}
+
+// branchStat tracks one static conditional branch.
+type branchStat struct {
+	taken, total, transitions uint64
+	last                      bool
+	any                       bool
+}
+
+// Collect profiles a compiled program. setup (optional) installs workload
+// inputs before the run.
+func Collect(prog *isa.Program, setup func(*vm.VM) error, name string, opts Options) (*Profile, error) {
+	if opts.Cache == (cache.Config{}) {
+		opts.Cache = DefaultCache
+	}
+	m := vm.New(prog)
+	if setup != nil {
+		if err := setup(m); err != nil {
+			return nil, err
+		}
+	}
+
+	c := cache.New(opts.Cache)
+	blockCounts := make(map[blockKey]uint64)
+	edgeCounts := make(map[[2]int]uint64) // (nodeFrom, nodeTo) by block within func
+	memStats := make(map[[3]int]*memStat)
+	branchStats := make(map[blockKey]*branchStat)
+	callCounts := make([]uint64, len(prog.Funcs))
+	var mix [isa.NumClasses]uint64
+	var total uint64
+
+	hook := func(ev *vm.Event) {
+		total++
+		mix[ev.Instr.Class()]++
+		if ev.Index == 0 {
+			blockCounts[blockKey{ev.Func, ev.Block}]++
+		}
+		switch ev.Instr.Op {
+		case isa.LD, isa.ST, isa.LDL, isa.STL:
+			key := [3]int{ev.Func, ev.Block, ev.Index}
+			ms := memStats[key]
+			if ms == nil {
+				ms = &memStat{}
+				memStats[key] = ms
+			}
+			ms.accesses++
+			if !c.Access(ev.Addr) {
+				ms.misses++
+			}
+		case isa.BR:
+			key := blockKey{ev.Func, ev.Block}
+			bs := branchStats[key]
+			if bs == nil {
+				bs = &branchStat{}
+				branchStats[key] = bs
+			}
+			bs.total++
+			if ev.Taken {
+				bs.taken++
+			}
+			if bs.any && ev.Taken != bs.last {
+				bs.transitions++
+			}
+			bs.last = ev.Taken
+			bs.any = true
+			// Record the control-flow edge this branch took.
+			blk := prog.Funcs[ev.Func].Blocks[ev.Block]
+			to := blk.Succs[1]
+			if ev.Taken {
+				to = blk.Succs[0]
+			}
+			edgeCounts[[2]int{nodeID(prog, ev.Func, ev.Block), nodeID(prog, ev.Func, to)}]++
+		case isa.JMP:
+			blk := prog.Funcs[ev.Func].Blocks[ev.Block]
+			edgeCounts[[2]int{nodeID(prog, ev.Func, ev.Block), nodeID(prog, ev.Func, blk.Succs[0])}]++
+		case isa.CALL:
+			callCounts[ev.Instr.Sym]++
+		}
+	}
+
+	res, err := m.Run(vm.Config{Hook: hook, MaxInstrs: opts.MaxInstrs})
+	if err != nil {
+		return nil, fmt.Errorf("profile: %s: %w", name, err)
+	}
+
+	g := buildGraph(prog, blockCounts, edgeCounts, memStats, branchStats, callCounts)
+	return &Profile{
+		Workload:   name,
+		Graph:      g,
+		TotalDyn:   total,
+		Mix:        mix,
+		CacheCfg:   opts.Cache,
+		OutputHash: res.OutputHash,
+	}, nil
+}
+
+// nodeID assigns a dense node ID per static block: blocks are numbered
+// function by function in program order.
+func nodeID(prog *isa.Program, fn, block int) int {
+	id := 0
+	for i := 0; i < fn; i++ {
+		id += len(prog.Funcs[i].Blocks)
+	}
+	return id + block
+}
+
+func buildGraph(prog *isa.Program,
+	blockCounts map[blockKey]uint64,
+	edgeCounts map[[2]int]uint64,
+	memStats map[[3]int]*memStat,
+	branchStats map[blockKey]*branchStat,
+	callCounts []uint64) *sfgl.Graph {
+
+	g := &sfgl.Graph{FuncCalls: callCounts}
+	for _, f := range prog.Funcs {
+		g.FuncNames = append(g.FuncNames, f.Name)
+	}
+
+	// Nodes: one per static block, in nodeID order.
+	for fi, f := range prog.Funcs {
+		for bi, blk := range f.Blocks {
+			n := &sfgl.Node{
+				ID:    nodeID(prog, fi, bi),
+				Func:  fi,
+				Block: bi,
+				Count: blockCounts[blockKey{fi, bi}],
+			}
+			for ii := range blk.Instrs {
+				in := &blk.Instrs[ii]
+				info := sfgl.InstrInfo{Op: in.Op, Class: in.Class(), MemClass: -1}
+				if ms := memStats[[3]int{fi, bi, ii}]; ms != nil && ms.accesses > 0 {
+					miss := float64(ms.misses) / float64(ms.accesses)
+					info.MemClass = sfgl.MemClassFor(miss)
+				}
+				n.Instrs = append(n.Instrs, info)
+			}
+			if bs := branchStats[blockKey{fi, bi}]; bs != nil && bs.total > 0 {
+				takenRate := float64(bs.taken) / float64(bs.total)
+				transRate := 0.0
+				if bs.total > 1 {
+					transRate = float64(bs.transitions) / float64(bs.total-1)
+				}
+				n.Branch = &sfgl.BranchInfo{
+					Taken:       bs.taken,
+					Total:       bs.total,
+					Transitions: bs.transitions,
+					TakenRate:   takenRate,
+					TransRate:   transRate,
+					Hard:        transRate > 0.15 && transRate < 0.85,
+				}
+			}
+			g.Nodes = append(g.Nodes, n)
+		}
+	}
+
+	for k, c := range edgeCounts {
+		g.Edges = append(g.Edges, &sfgl.Edge{From: k[0], To: k[1], Count: c})
+	}
+	sortEdges(g.Edges)
+
+	// Loop annotation: natural loops on each function's static CFG, with
+	// entry counts from edges entering the header from outside the loop.
+	loopID := 0
+	for fi, f := range prog.Funcs {
+		forest := ir.FindLoops(ir.Succs(f), 0)
+		// Map forest index -> global loop ID for parents.
+		idOf := make([]int, len(forest.Loops))
+		for li := range forest.Loops {
+			idOf[li] = loopID + li
+		}
+		for li := range forest.Loops {
+			l := &forest.Loops[li]
+			headerID := nodeID(prog, fi, l.Header)
+			iterations := blockCounts[blockKey{fi, l.Header}]
+			var entries uint64
+			inLoop := make(map[int]bool)
+			for _, b := range l.Blocks {
+				inLoop[nodeID(prog, fi, b)] = true
+			}
+			for k, c := range edgeCounts {
+				if k[1] == headerID && !inLoop[k[0]] {
+					entries += c
+				}
+			}
+			parent := -1
+			if l.Parent >= 0 {
+				parent = idOf[l.Parent]
+			}
+			var nodes []int
+			for _, b := range l.Blocks {
+				nodes = append(nodes, nodeID(prog, fi, b))
+			}
+			g.Loops = append(g.Loops, &sfgl.Loop{
+				ID:         idOf[li],
+				Func:       fi,
+				Header:     headerID,
+				Nodes:      nodes,
+				Parent:     parent,
+				Depth:      l.Depth,
+				Entries:    entries,
+				Iterations: iterations,
+			})
+		}
+		loopID += len(forest.Loops)
+	}
+	return g
+}
+
+func sortEdges(edges []*sfgl.Edge) {
+	for i := 1; i < len(edges); i++ {
+		for j := i; j > 0 && less(edges[j], edges[j-1]); j-- {
+			edges[j], edges[j-1] = edges[j-1], edges[j]
+		}
+	}
+}
+
+func less(a, b *sfgl.Edge) bool {
+	if a.From != b.From {
+		return a.From < b.From
+	}
+	return a.To < b.To
+}
+
+// Save writes the profile as JSON.
+func (p *Profile) Save(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(p)
+}
+
+// Load reads a profile from JSON.
+func Load(r io.Reader) (*Profile, error) {
+	var p Profile
+	if err := json.NewDecoder(r).Decode(&p); err != nil {
+		return nil, fmt.Errorf("profile: decode: %w", err)
+	}
+	return &p, nil
+}

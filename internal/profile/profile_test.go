@@ -1,0 +1,281 @@
+package profile
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/compiler"
+	"repro/internal/hlc"
+	"repro/internal/isa"
+	"repro/internal/sfgl"
+	"repro/internal/vm"
+)
+
+func collect(t *testing.T, src string) *Profile {
+	t.Helper()
+	cp := hlc.MustCheck(src)
+	// Profiling happens at -O0, as in the paper.
+	prog, err := compiler.Compile(cp, isa.AMD64, compiler.O0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ints, floats, err := compiler.GlobalInits(cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	setup := func(m *vm.VM) error {
+		for k, v := range ints {
+			if err := m.SetInt(k, v); err != nil {
+				return err
+			}
+		}
+		for k, v := range floats {
+			if err := m.SetFloat(k, v); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	p, err := Collect(prog, setup, "test", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestCollectLoopAnnotation(t *testing.T) {
+	p := collect(t, `
+void main() {
+  int sum = 0;
+  for (int i = 0; i < 40; i++) { sum += i; }
+  print(sum);
+}`)
+	if len(p.Graph.Loops) != 1 {
+		t.Fatalf("loops = %d, want 1", len(p.Graph.Loops))
+	}
+	l := p.Graph.Loops[0]
+	if l.Entries != 1 {
+		t.Errorf("loop entries = %d, want 1", l.Entries)
+	}
+	// Header executes 41 times (40 body + 1 exit test).
+	if trip := l.AvgTrip(); trip < 40 || trip > 42 {
+		t.Errorf("avg trip = %.1f, want ≈41", trip)
+	}
+}
+
+func TestCollectNestedLoops(t *testing.T) {
+	p := collect(t, `
+void main() {
+  int s = 0;
+  for (int i = 0; i < 10; i++) {
+    for (int j = 0; j < 20; j++) { s += j; }
+  }
+  print(s);
+}`)
+	if len(p.Graph.Loops) != 2 {
+		t.Fatalf("loops = %d, want 2", len(p.Graph.Loops))
+	}
+	var inner, outer *sfgl.Loop
+	for _, l := range p.Graph.Loops {
+		if l.Depth == 2 {
+			inner = l
+		} else {
+			outer = l
+		}
+	}
+	if inner == nil || outer == nil {
+		t.Fatalf("bad nest: %+v", p.Graph.Loops)
+	}
+	if inner.Parent != outer.ID {
+		t.Error("inner loop's parent should be the outer loop")
+	}
+	if trip := inner.AvgTrip(); trip < 20 || trip > 22 {
+		t.Errorf("inner trip = %.1f, want ≈21", trip)
+	}
+	if outer.Entries != 1 || inner.Entries != 10 {
+		t.Errorf("entries outer=%d inner=%d, want 1/10", outer.Entries, inner.Entries)
+	}
+}
+
+func TestCollectBranchRates(t *testing.T) {
+	// Branch taken in a data-dependent alternating pattern: taken rate
+	// ~0.5, transition rate ~1.0 => easy to predict (not Hard).
+	p := collect(t, `
+void main() {
+  int x = 0;
+  for (int i = 0; i < 1000; i++) {
+    if (i % 2 == 0) { x += 1; } else { x += 2; }
+  }
+  print(x);
+}`)
+	var alternating *sfgl.BranchInfo
+	for _, n := range p.Graph.Nodes {
+		if n.Branch != nil && n.Branch.Total >= 900 && n.Branch.TakenRate > 0.4 && n.Branch.TakenRate < 0.6 {
+			alternating = n.Branch
+		}
+	}
+	if alternating == nil {
+		t.Fatal("alternating branch not found in profile")
+	}
+	if alternating.TransRate < 0.9 {
+		t.Errorf("alternating branch transition rate = %.2f, want ≈1", alternating.TransRate)
+	}
+	if alternating.Hard {
+		t.Error("high transition rate should classify as easy to predict")
+	}
+}
+
+func TestCollectBiasedBranchIsEasy(t *testing.T) {
+	p := collect(t, `
+void main() {
+  int x = 0;
+  for (int i = 0; i < 1000; i++) {
+    if (i == 500) { x = 99; }
+  }
+  print(x);
+}`)
+	found := false
+	for _, n := range p.Graph.Nodes {
+		if n.Branch != nil && n.Branch.Total >= 900 &&
+			(n.Branch.TakenRate < 0.05 || n.Branch.TakenRate > 0.95) {
+			found = true
+			if n.Branch.Hard {
+				t.Error("strongly biased branch should be easy")
+			}
+			if n.Branch.TransRate > 0.15 {
+				t.Errorf("biased branch transition rate = %.3f, want low", n.Branch.TransRate)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("biased branch not found")
+	}
+}
+
+func TestCollectMemClasses(t *testing.T) {
+	// Sequential walk over a large int array: 32-byte lines hold 8 ints,
+	// so the load misses ~1/8 of the time => Table I class 1.
+	p := collect(t, `
+int big[32768];
+void main() {
+  int s = 0;
+  for (int r = 0; r < 4; r++) {
+    for (int i = 0; i < 32768; i++) { s += big[i]; }
+  }
+  print(s);
+}`)
+	classCounts := map[int]int{}
+	for _, n := range p.Graph.Nodes {
+		for _, in := range n.Instrs {
+			if in.Op == isa.LD && in.MemClass >= 0 && n.Count > 1000 {
+				classCounts[in.MemClass]++
+			}
+		}
+	}
+	if classCounts[1] == 0 {
+		t.Errorf("sequential array walk should classify as class 1, got %v", classCounts)
+	}
+}
+
+func TestCollectMixAndTotals(t *testing.T) {
+	p := collect(t, `
+int data[64];
+void main() {
+  for (int i = 0; i < 64; i++) { data[i] = i; }
+  int s = 0;
+  for (int i = 0; i < 64; i++) { s += data[i]; }
+  print(s);
+}`)
+	if p.TotalDyn == 0 {
+		t.Fatal("empty profile")
+	}
+	var sum uint64
+	for _, c := range p.Mix {
+		sum += c
+	}
+	if sum != p.TotalDyn {
+		t.Errorf("mix sums to %d, want %d", sum, p.TotalDyn)
+	}
+	loads, stores, branches, others := p.MixFractions()
+	if loads <= 0 || stores <= 0 || branches <= 0 || others <= 0 {
+		t.Errorf("degenerate mix: %v %v %v %v", loads, stores, branches, others)
+	}
+	if f := loads + stores + branches + others; f < 0.999 || f > 1.001 {
+		t.Errorf("mix fractions sum to %v", f)
+	}
+	// O0 code is memory-heavy: loads should be a large fraction.
+	if loads < 0.2 {
+		t.Errorf("O0 load fraction = %.2f, expected heavy load traffic", loads)
+	}
+}
+
+func TestCollectNodeCountsMatchEdges(t *testing.T) {
+	// Internal consistency: a node's count equals the sum of incoming
+	// edge counts (plus 1 for the entry block of main per call).
+	p := collect(t, `
+void main() {
+  int s = 0;
+  for (int i = 0; i < 10; i++) {
+    if (i % 3 == 0) { s += 2; } else { s -= 1; }
+  }
+  print(s);
+}`)
+	incoming := make(map[int]uint64)
+	for _, e := range p.Graph.Edges {
+		incoming[e.To] += e.Count
+	}
+	for _, n := range p.Graph.Nodes {
+		if n.Count == 0 {
+			continue
+		}
+		in := incoming[n.ID]
+		// main's entry block has no incoming edges but executes once.
+		if n.Block == 0 {
+			in++
+		}
+		if in != n.Count {
+			t.Errorf("node %d (f%d b%d): count %d but incoming %d",
+				n.ID, n.Func, n.Block, n.Count, in)
+		}
+	}
+}
+
+func TestCollectFuncCalls(t *testing.T) {
+	p := collect(t, `
+int helper(int x) { return x * 2; }
+void main() {
+  int s = 0;
+  for (int i = 0; i < 25; i++) { s += helper(i); }
+  print(s);
+}`)
+	hi := -1
+	for i, name := range p.Graph.FuncNames {
+		if name == "helper" {
+			hi = i
+		}
+	}
+	if hi < 0 {
+		t.Fatal("helper not in profile")
+	}
+	if p.Graph.FuncCalls[hi] != 25 {
+		t.Errorf("helper called %d times in profile, want 25", p.Graph.FuncCalls[hi])
+	}
+}
+
+func TestProfileSaveLoad(t *testing.T) {
+	p := collect(t, `void main() { print(7); }`)
+	var buf bytes.Buffer
+	if err := p.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	q, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.TotalDyn != p.TotalDyn || q.Workload != p.Workload {
+		t.Error("round trip mismatch")
+	}
+	if _, err := Load(bytes.NewBufferString("nope")); err == nil {
+		t.Error("expected decode error")
+	}
+}

@@ -1,0 +1,296 @@
+// Package sfgl implements the Statistical Flow Graph with Loop annotation,
+// the paper's central profile structure (Section III.A.1, Fig. 2). Nodes
+// are basic blocks annotated with execution counts and per-instruction
+// information (including the Table I memory-access class and branch
+// taken/transition rates); edges carry control-flow transition counts; and
+// the loop annotation records nesting and iteration counts, which is what
+// lets the synthesizer emit real (nested) loops instead of prior work's
+// linear block sequences.
+package sfgl
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/isa"
+)
+
+// InstrInfo describes one static instruction of a basic block: its opcode
+// and class (the paper's "instruction types" with operand kinds, which our
+// opcodes encode), plus the memory-access class of Table I for loads and
+// stores.
+type InstrInfo struct {
+	Op       isa.Opcode `json:"op"`
+	Class    isa.Class  `json:"class"`
+	MemClass int        `json:"memClass"` // Table I class 0..8; -1 for non-memory ops
+}
+
+// BranchInfo is the paper's Section III.A.2 branch characterization.
+type BranchInfo struct {
+	Taken       uint64  `json:"taken"`
+	Total       uint64  `json:"total"`
+	Transitions uint64  `json:"transitions"`
+	TakenRate   float64 `json:"takenRate"`
+	TransRate   float64 `json:"transRate"`
+	Hard        bool    `json:"hard"` // medium transition rate = hard to predict
+}
+
+// Node is one basic block of the SFGL.
+type Node struct {
+	ID    int    `json:"id"`
+	Func  int    `json:"func"`  // function index in the profiled binary
+	Block int    `json:"block"` // block index within the function
+	Count uint64 `json:"count"` // execution count
+
+	Instrs []InstrInfo `json:"instrs"`
+
+	// Branch describes the terminating conditional branch, if any.
+	Branch *BranchInfo `json:"branch,omitempty"`
+}
+
+// Edge is a control-flow transition with its observed count.
+type Edge struct {
+	From  int    `json:"from"` // node ID
+	To    int    `json:"to"`   // node ID
+	Count uint64 `json:"count"`
+}
+
+// Loop is a natural loop with the paper's iteration annotation.
+type Loop struct {
+	ID     int   `json:"id"`
+	Func   int   `json:"func"`
+	Header int   `json:"header"` // node ID of the loop header
+	Nodes  []int `json:"nodes"`  // node IDs in the body (including header)
+	Parent int   `json:"parent"` // enclosing loop ID, or -1
+	Depth  int   `json:"depth"`
+
+	// Entries counts how many times the loop was entered from outside;
+	// Iterations counts header executions. Their ratio is the average
+	// trip count used when the synthesizer emits a for loop.
+	Entries    uint64 `json:"entries"`
+	Iterations uint64 `json:"iterations"`
+}
+
+// AvgTrip returns the average number of iterations per entry.
+func (l *Loop) AvgTrip() float64 {
+	if l.Entries == 0 {
+		return 0
+	}
+	return float64(l.Iterations) / float64(l.Entries)
+}
+
+// Graph is the complete SFGL.
+type Graph struct {
+	FuncNames []string `json:"funcNames"`
+	Nodes     []*Node  `json:"nodes"`
+	Edges     []*Edge  `json:"edges"`
+	Loops     []*Loop  `json:"loops"`
+	// FuncCalls counts dynamic calls per function index.
+	FuncCalls []uint64 `json:"funcCalls"`
+}
+
+// NodeAt returns the node for a (func, block) location, or nil.
+func (g *Graph) NodeAt(fn, block int) *Node {
+	for _, n := range g.Nodes {
+		if n.Func == fn && n.Block == block {
+			return n
+		}
+	}
+	return nil
+}
+
+// Node returns the node with the given ID, or nil. IDs are not slice
+// indices: scaled-down graphs drop nodes but keep the original IDs.
+func (g *Graph) Node(id int) *Node {
+	for _, n := range g.Nodes {
+		if n.ID == id {
+			return n
+		}
+	}
+	return nil
+}
+
+// TotalCount sums all node execution counts.
+func (g *Graph) TotalCount() uint64 {
+	var t uint64
+	for _, n := range g.Nodes {
+		t += n.Count
+	}
+	return t
+}
+
+// OutEdges returns the edges leaving node id.
+func (g *Graph) OutEdges(id int) []*Edge {
+	var out []*Edge
+	for _, e := range g.Edges {
+		if e.From == id {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// InnermostLoopOf returns the deepest loop containing node id, or nil.
+func (g *Graph) InnermostLoopOf(id int) *Loop {
+	var best *Loop
+	for _, l := range g.Loops {
+		for _, n := range l.Nodes {
+			if n == id && (best == nil || l.Depth > best.Depth) {
+				best = l
+			}
+		}
+	}
+	return best
+}
+
+// Children returns the loops directly nested inside loop id.
+func (g *Graph) Children(id int) []*Loop {
+	var out []*Loop
+	for _, l := range g.Loops {
+		if l.Parent == id {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// ScaleDown produces the scaled-down SFGL of Section III.B.1 / Fig. 2:
+// node counts are divided by the reduction factor R and blocks executed
+// fewer than R times disappear; loop iteration counts are scaled
+// nest-aware — the outer loop absorbs as much of R as its trip count
+// allows, and the remainder is pushed into the nested loops.
+func (g *Graph) ScaleDown(r uint64) *Graph {
+	if r == 0 {
+		r = 1
+	}
+	out := &Graph{
+		FuncNames: append([]string(nil), g.FuncNames...),
+		FuncCalls: make([]uint64, len(g.FuncCalls)),
+	}
+	for i, c := range g.FuncCalls {
+		out.FuncCalls[i] = c / r
+	}
+
+	keep := make(map[int]bool)
+	for _, n := range g.Nodes {
+		scaled := n.Count / r
+		if scaled == 0 {
+			continue // infrequent blocks are removed (and hide semantics)
+		}
+		nn := *n
+		nn.Count = scaled
+		if n.Branch != nil {
+			b := *n.Branch
+			b.Taken /= r
+			b.Total /= r
+			b.Transitions /= r
+			nn.Branch = &b
+		}
+		nn.Instrs = append([]InstrInfo(nil), n.Instrs...)
+		out.Nodes = append(out.Nodes, &nn)
+		keep[n.ID] = true
+	}
+	for _, e := range g.Edges {
+		if !keep[e.From] || !keep[e.To] {
+			continue
+		}
+		scaled := e.Count / r
+		if scaled == 0 {
+			continue
+		}
+		out.Edges = append(out.Edges, &Edge{From: e.From, To: e.To, Count: scaled})
+	}
+
+	// Loop scaling: total iterations divide by R (consistent with the
+	// header's node count), entries divide by R but a surviving loop is
+	// entered at least once, and iterations never drop below entries.
+	// This realizes the paper's nest-aware rule automatically: an outer
+	// loop whose trip count cannot absorb R bottoms out at one iteration
+	// per entry, and the nested loop — whose total iterations also shrank
+	// by R while its entry count collapsed — carries the remaining factor
+	// in its per-entry trip count.
+	survives := make(map[int]bool)
+	for _, l := range g.Loops {
+		if keep[l.Header] {
+			survives[l.ID] = true
+		}
+	}
+	loopByID := make(map[int]*Loop)
+	for _, l := range g.Loops {
+		loopByID[l.ID] = l
+	}
+	for _, l := range g.Loops {
+		if !survives[l.ID] {
+			continue // the whole loop fell below the threshold
+		}
+		nl := *l
+		nl.Nodes = nil
+		for _, n := range l.Nodes {
+			if keep[n] {
+				nl.Nodes = append(nl.Nodes, n)
+			}
+		}
+		// Reattach to the nearest surviving ancestor (a dropped outer
+		// loop promotes its surviving children).
+		for nl.Parent != -1 && !survives[nl.Parent] {
+			nl.Parent = loopByID[nl.Parent].Parent
+		}
+		nl.Entries = maxU64(l.Entries/r, 1)
+		nl.Iterations = maxU64(l.Iterations/r, nl.Entries)
+		out.Loops = append(out.Loops, &nl)
+	}
+	return out
+}
+
+func maxU64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Table I: memory-access classes. Class k covers miss rates around
+// k*12.5% and maps to a stride of 4k bytes on a 32-byte-line cache.
+
+// NumMemClasses is the number of Table I classes.
+const NumMemClasses = 9
+
+// MemClassFor quantizes a miss rate (0..1) to its Table I class.
+func MemClassFor(missRate float64) int {
+	c := int(missRate*8 + 0.5)
+	if c < 0 {
+		c = 0
+	}
+	if c > 8 {
+		c = 8
+	}
+	return c
+}
+
+// StrideBytes returns the Table I stride for a memory class.
+func StrideBytes(class int) int {
+	if class < 0 {
+		class = 0
+	}
+	if class > 8 {
+		class = 8
+	}
+	return class * 4
+}
+
+// Save writes the graph as JSON.
+func (g *Graph) Save(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(g)
+}
+
+// Load reads a graph from JSON.
+func Load(r io.Reader) (*Graph, error) {
+	var g Graph
+	if err := json.NewDecoder(r).Decode(&g); err != nil {
+		return nil, fmt.Errorf("sfgl: decode: %w", err)
+	}
+	return &g, nil
+}

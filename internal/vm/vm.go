@@ -1,0 +1,403 @@
+// Package vm executes compiled virtual-ISA programs. It is the functional
+// simulator of the framework and, through its per-instruction observer hook,
+// also its binary-instrumentation layer — the role Pin plays in the paper:
+// profilers, cache simulators, and branch-prediction models all attach to
+// the executed instruction stream via Hook.
+package vm
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+
+	"repro/internal/isa"
+)
+
+// Event describes one executed instruction to observers.
+type Event struct {
+	Func, Block, Index int // static location of the instruction
+	Instr              *isa.Instr
+	Addr               uint64 // data address (valid when IsMem)
+	IsMem              bool
+	Taken              bool // branch outcome (valid for BR)
+}
+
+// Hook observes every executed instruction. The Event struct is reused
+// between calls; implementations must copy what they keep.
+type Hook func(*Event)
+
+// Config controls one execution.
+type Config struct {
+	// Hook, if non-nil, is invoked for every executed instruction.
+	Hook Hook
+	// MaxInstrs aborts execution after this many dynamic instructions
+	// (0 means the package default of 2e9).
+	MaxInstrs uint64
+	// MaxOutput caps how many printed values are retained verbatim in
+	// Result.Output (the hash and count always cover everything).
+	// 0 means the package default of 4096.
+	MaxOutput int
+	// MaxDepth caps the call stack (0 means the default of 1<<20).
+	MaxDepth int
+}
+
+// Result summarizes an execution.
+type Result struct {
+	DynInstrs  uint64   // dynamic instruction count
+	Prints     uint64   // number of values printed
+	Output     []string // first MaxOutput printed values, formatted
+	OutputHash uint64   // FNV-1a hash over all printed values
+}
+
+// Memory layout constants. Globals and stack frames live in disjoint
+// address ranges so cache simulators see realistic, non-overlapping data
+// addresses.
+const (
+	globalsBase = 0x0001_0000
+	stackBase   = 0x4000_0000
+	globalAlign = 64
+)
+
+const (
+	defaultMaxInstrs = 2_000_000_000
+	defaultMaxOutput = 4096
+	defaultMaxDepth  = 1 << 20
+)
+
+// VM holds the loaded program and its global memory. A VM may be Run
+// multiple times; each Run re-zeroes nothing — callers that need pristine
+// globals should create a fresh VM (loading is cheap).
+type VM struct {
+	prog       *isa.Program
+	globals    [][]int64 // float elements stored as IEEE bits
+	globalAddr []uint64  // byte base address per global
+}
+
+// New loads a compiled program.
+func New(prog *isa.Program) *VM {
+	vm := &VM{prog: prog}
+	addr := uint64(globalsBase)
+	for _, g := range prog.Globals {
+		vm.globals = append(vm.globals, make([]int64, g.Len))
+		vm.globalAddr = append(vm.globalAddr, addr)
+		size := uint64(g.Len * g.ElemBytes())
+		addr += (size + globalAlign - 1) / globalAlign * globalAlign
+	}
+	return vm
+}
+
+// Prog returns the loaded program.
+func (vm *VM) Prog() *isa.Program { return vm.prog }
+
+// SetInts installs values into an int global (array or scalar).
+func (vm *VM) SetInts(name string, vals []int64) error {
+	gi := vm.prog.GlobalIndex(name)
+	if gi < 0 {
+		return fmt.Errorf("vm: no global %q", name)
+	}
+	g := vm.prog.Globals[gi]
+	if g.Kind != isa.KindInt {
+		return fmt.Errorf("vm: global %q is not int", name)
+	}
+	if len(vals) > g.Len {
+		return fmt.Errorf("vm: global %q holds %d elements, got %d", name, g.Len, len(vals))
+	}
+	copy(vm.globals[gi], vals)
+	return nil
+}
+
+// SetFloats installs values into a float global (array or scalar).
+func (vm *VM) SetFloats(name string, vals []float64) error {
+	gi := vm.prog.GlobalIndex(name)
+	if gi < 0 {
+		return fmt.Errorf("vm: no global %q", name)
+	}
+	g := vm.prog.Globals[gi]
+	if g.Kind != isa.KindFloat {
+		return fmt.Errorf("vm: global %q is not float", name)
+	}
+	if len(vals) > g.Len {
+		return fmt.Errorf("vm: global %q holds %d elements, got %d", name, g.Len, len(vals))
+	}
+	for i, v := range vals {
+		vm.globals[gi][i] = int64(math.Float64bits(v))
+	}
+	return nil
+}
+
+// SetInt sets a scalar int global.
+func (vm *VM) SetInt(name string, v int64) error { return vm.SetInts(name, []int64{v}) }
+
+// SetFloat sets a scalar float global.
+func (vm *VM) SetFloat(name string, v float64) error { return vm.SetFloats(name, []float64{v}) }
+
+// Ints returns a copy of an int global's contents (after a run, typically).
+func (vm *VM) Ints(name string) ([]int64, error) {
+	gi := vm.prog.GlobalIndex(name)
+	if gi < 0 {
+		return nil, fmt.Errorf("vm: no global %q", name)
+	}
+	out := make([]int64, len(vm.globals[gi]))
+	copy(out, vm.globals[gi])
+	return out, nil
+}
+
+type frame struct {
+	fn      *isa.Func
+	fnIdx   int
+	regs    []int64
+	slots   []int64
+	base    uint64 // frame base address for LDL/STL addresses
+	block   int
+	index   int
+	retDst  isa.RegID // caller register receiving the return value
+	argBase int64     // caller slot base of this call's arguments (unused after entry)
+}
+
+// Trap is the error type for runtime faults (out-of-bounds access, division
+// by zero, instruction budget exhaustion, stack overflow).
+type Trap struct {
+	Reason string
+	Func   string
+	Block  int
+	Index  int
+}
+
+func (t *Trap) Error() string {
+	return fmt.Sprintf("vm: trap in %s (block %d, instr %d): %s", t.Func, t.Block, t.Index, t.Reason)
+}
+
+// Run executes the program from its entry function.
+func (vm *VM) Run(cfg Config) (Result, error) {
+	maxInstrs := cfg.MaxInstrs
+	if maxInstrs == 0 {
+		maxInstrs = defaultMaxInstrs
+	}
+	maxOutput := cfg.MaxOutput
+	if maxOutput == 0 {
+		maxOutput = defaultMaxOutput
+	}
+	maxDepth := cfg.MaxDepth
+	if maxDepth == 0 {
+		maxDepth = defaultMaxDepth
+	}
+
+	var res Result
+	res.OutputHash = 14695981039346656037 // FNV offset basis
+
+	entry := vm.prog.Funcs[vm.prog.Entry]
+	if entry.NumParams != 0 {
+		return res, fmt.Errorf("vm: entry function %s takes parameters", entry.Name)
+	}
+	frames := make([]*frame, 0, 64)
+	frames = append(frames, vm.newFrame(entry, vm.prog.Entry, uint64(stackBase)))
+	cur := frames[0]
+
+	var ev Event
+	hook := cfg.Hook
+
+	trap := func(reason string) (Result, error) {
+		res.DynInstrs++
+		return res, &Trap{Reason: reason, Func: cur.fn.Name, Block: cur.block, Index: cur.index}
+	}
+
+	emit := func(in *isa.Instr, isMem bool, addr uint64, taken bool) {
+		if hook == nil {
+			return
+		}
+		ev = Event{
+			Func: cur.fnIdx, Block: cur.block, Index: cur.index,
+			Instr: in, Addr: addr, IsMem: isMem, Taken: taken,
+		}
+		hook(&ev)
+	}
+
+	print := func(s string) {
+		res.Prints++
+		for i := 0; i < len(s); i++ {
+			res.OutputHash ^= uint64(s[i])
+			res.OutputHash *= 1099511628211
+		}
+		res.OutputHash ^= '\n'
+		res.OutputHash *= 1099511628211
+		if len(res.Output) < maxOutput {
+			res.Output = append(res.Output, s)
+		}
+	}
+
+	for {
+		if res.DynInstrs >= maxInstrs {
+			return trap("instruction budget exhausted")
+		}
+		blk := cur.fn.Blocks[cur.block]
+		in := &blk.Instrs[cur.index]
+		res.DynInstrs++
+		advance := true
+
+		switch in.Op {
+		case isa.NOP:
+			emit(in, false, 0, false)
+
+		case isa.MOVI:
+			cur.regs[in.Dst] = in.Imm
+			emit(in, false, 0, false)
+		case isa.MOVF:
+			cur.regs[in.Dst] = int64(math.Float64bits(in.F))
+			emit(in, false, 0, false)
+		case isa.MOV:
+			cur.regs[in.Dst] = cur.regs[in.A]
+			emit(in, false, 0, false)
+
+		case isa.ADD, isa.SUB, isa.MUL, isa.AND, isa.OR, isa.XOR, isa.SHL, isa.SHR,
+			isa.CMPEQ, isa.CMPNE, isa.CMPLT, isa.CMPLE, isa.CMPGT, isa.CMPGE:
+			v, _ := isa.EvalIntBin(in.Op, cur.regs[in.A], cur.regs[in.B])
+			cur.regs[in.Dst] = v
+			emit(in, false, 0, false)
+		case isa.DIV, isa.MOD:
+			v, ok := isa.EvalIntBin(in.Op, cur.regs[in.A], cur.regs[in.B])
+			if !ok {
+				return trap("integer division by zero")
+			}
+			cur.regs[in.Dst] = v
+			emit(in, false, 0, false)
+		case isa.NEG, isa.NOTB:
+			cur.regs[in.Dst] = isa.EvalIntUn(in.Op, cur.regs[in.A])
+			emit(in, false, 0, false)
+
+		case isa.FADD, isa.FSUB, isa.FMUL, isa.FDIV:
+			a := math.Float64frombits(uint64(cur.regs[in.A]))
+			b := math.Float64frombits(uint64(cur.regs[in.B]))
+			cur.regs[in.Dst] = int64(math.Float64bits(isa.EvalFloatBin(in.Op, a, b)))
+			emit(in, false, 0, false)
+		case isa.FCMPEQ, isa.FCMPNE, isa.FCMPLT, isa.FCMPLE, isa.FCMPGT, isa.FCMPGE:
+			a := math.Float64frombits(uint64(cur.regs[in.A]))
+			b := math.Float64frombits(uint64(cur.regs[in.B]))
+			cur.regs[in.Dst] = isa.EvalFloatCmp(in.Op, a, b)
+			emit(in, false, 0, false)
+		case isa.FNEG, isa.FSQRT, isa.FSIN, isa.FCOS, isa.FABS:
+			a := math.Float64frombits(uint64(cur.regs[in.A]))
+			cur.regs[in.Dst] = int64(math.Float64bits(isa.EvalFloatUn(in.Op, a)))
+			emit(in, false, 0, false)
+		case isa.ITOF:
+			cur.regs[in.Dst] = int64(math.Float64bits(float64(cur.regs[in.A])))
+			emit(in, false, 0, false)
+		case isa.FTOI:
+			cur.regs[in.Dst] = isa.F2I(math.Float64frombits(uint64(cur.regs[in.A])))
+			emit(in, false, 0, false)
+
+		case isa.LD:
+			gi := in.Sym
+			idx := in.Imm
+			if in.A != isa.NoReg {
+				idx += cur.regs[in.A]
+			}
+			mem := vm.globals[gi]
+			if idx < 0 || idx >= int64(len(mem)) {
+				return trap(fmt.Sprintf("load index %d out of bounds for %s[%d]",
+					idx, vm.prog.Globals[gi].Name, len(mem)))
+			}
+			cur.regs[in.Dst] = mem[idx]
+			addr := vm.globalAddr[gi] + uint64(idx)*uint64(vm.prog.Globals[gi].ElemBytes())
+			emit(in, true, addr, false)
+		case isa.ST:
+			gi := in.Sym
+			idx := in.Imm
+			if in.A != isa.NoReg {
+				idx += cur.regs[in.A]
+			}
+			mem := vm.globals[gi]
+			if idx < 0 || idx >= int64(len(mem)) {
+				return trap(fmt.Sprintf("store index %d out of bounds for %s[%d]",
+					idx, vm.prog.Globals[gi].Name, len(mem)))
+			}
+			mem[idx] = cur.regs[in.B]
+			addr := vm.globalAddr[gi] + uint64(idx)*uint64(vm.prog.Globals[gi].ElemBytes())
+			emit(in, true, addr, false)
+		case isa.LDL:
+			cur.regs[in.Dst] = cur.slots[in.Imm]
+			emit(in, true, cur.base+uint64(in.Imm)*isa.SlotBytes, false)
+		case isa.STL:
+			cur.slots[in.Imm] = cur.regs[in.A]
+			emit(in, true, cur.base+uint64(in.Imm)*isa.SlotBytes, false)
+
+		case isa.BR:
+			taken := cur.regs[in.A] != 0
+			emit(in, false, 0, taken)
+			if taken {
+				cur.block = blk.Succs[0]
+			} else {
+				cur.block = blk.Succs[1]
+			}
+			cur.index = 0
+			advance = false
+		case isa.JMP:
+			emit(in, false, 0, false)
+			cur.block = blk.Succs[0]
+			cur.index = 0
+			advance = false
+
+		case isa.CALL:
+			emit(in, false, 0, false)
+			if len(frames) >= maxDepth {
+				return trap("stack overflow")
+			}
+			callee := vm.prog.Funcs[in.Sym]
+			nf := vm.newFrame(callee, int(in.Sym), cur.base+uint64(cur.fn.NumSlots)*isa.SlotBytes)
+			for p := 0; p < callee.NumParams; p++ {
+				nf.slots[p] = cur.slots[in.Imm+int64(p)]
+			}
+			nf.retDst = in.Dst
+			// Resume the caller after the call when the callee returns.
+			cur.index++
+			frames = append(frames, nf)
+			cur = nf
+			advance = false
+
+		case isa.RET:
+			emit(in, false, 0, false)
+			var retVal int64
+			if in.A != isa.NoReg {
+				retVal = cur.regs[in.A]
+			}
+			retDst := cur.retDst
+			frames = frames[:len(frames)-1]
+			if len(frames) == 0 {
+				return res, nil
+			}
+			cur = frames[len(frames)-1]
+			if retDst != isa.NoReg {
+				cur.regs[retDst] = retVal
+			}
+			advance = false
+
+		case isa.PRINTI:
+			print(strconv.FormatInt(cur.regs[in.A], 10))
+			emit(in, false, 0, false)
+		case isa.PRINTF:
+			f := math.Float64frombits(uint64(cur.regs[in.A]))
+			print(strconv.FormatFloat(f, 'g', 12, 64))
+			emit(in, false, 0, false)
+
+		default:
+			return trap(fmt.Sprintf("unknown opcode %v", in.Op))
+		}
+
+		if advance {
+			cur.index++
+			if cur.index >= len(blk.Instrs) {
+				return trap("fell off the end of a basic block")
+			}
+		}
+	}
+}
+
+func (vm *VM) newFrame(fn *isa.Func, fnIdx int, base uint64) *frame {
+	return &frame{
+		fn:     fn,
+		fnIdx:  fnIdx,
+		regs:   make([]int64, fn.NumRegs),
+		slots:  make([]int64, max(fn.NumSlots, 1)),
+		base:   base,
+		retDst: isa.NoReg,
+	}
+}

@@ -1,0 +1,438 @@
+package workloads
+
+// First half of the suite: adpcm, basicmath, bitcount, crc32, dijkstra,
+// fft. Each source is a faithful HLC re-implementation of the MiBench
+// kernel's algorithm; inputs install the constant tables and synthetic
+// data. Parenthesization note: in HLC (as in C) == binds tighter than &, so
+// bitwise tests are always written (x & 1) == 1.
+
+const adpcmSrc = `
+int stepTab[89];
+int idxTab[16];
+int pcm[16384];
+int code[16384];
+int n;
+int mode;
+int result;
+
+void encode() {
+  int pred = 0;
+  int index = 0;
+  for (int i = 0; i < n; i++) {
+    int diff = pcm[i] - pred;
+    int sign = 0;
+    if (diff < 0) { sign = 8; diff = -diff; }
+    int step = stepTab[index];
+    int tmp = step;
+    int delta = 0;
+    if (diff >= step) { delta = 4; diff -= step; }
+    step = step >> 1;
+    if (diff >= step) { delta |= 2; diff -= step; }
+    step = step >> 1;
+    if (diff >= step) { delta |= 1; }
+    int vpdiff = tmp >> 3;
+    if ((delta & 4) != 0) { vpdiff += tmp; }
+    if ((delta & 2) != 0) { vpdiff += tmp >> 1; }
+    if ((delta & 1) != 0) { vpdiff += tmp >> 2; }
+    if (sign != 0) { pred -= vpdiff; } else { pred += vpdiff; }
+    if (pred > 32767) { pred = 32767; }
+    if (pred < -32768) { pred = -32768; }
+    delta |= sign;
+    index += idxTab[delta & 7];
+    if (index < 0) { index = 0; }
+    if (index > 88) { index = 88; }
+    code[i] = delta;
+    result = (result + delta) & 0xFFFFFF;
+  }
+  result += pred;
+}
+
+void decode() {
+  int pred = 0;
+  int index = 0;
+  for (int i = 0; i < n; i++) {
+    int delta = code[i];
+    int sign = delta & 8;
+    delta = delta & 7;
+    int step = stepTab[index];
+    int vpdiff = step >> 3;
+    if ((delta & 4) != 0) { vpdiff += step; }
+    if ((delta & 2) != 0) { vpdiff += step >> 1; }
+    if ((delta & 1) != 0) { vpdiff += step >> 2; }
+    if (sign != 0) { pred -= vpdiff; } else { pred += vpdiff; }
+    if (pred > 32767) { pred = 32767; }
+    if (pred < -32768) { pred = -32768; }
+    index += idxTab[delta];
+    if (index < 0) { index = 0; }
+    if (index > 88) { index = 88; }
+    pcm[i] = pred;
+    result = (result + pred) & 0xFFFFFF;
+  }
+}
+
+void main() {
+  if (mode == 0) { encode(); } else { decode(); }
+  print(result);
+}
+`
+
+var imaStepTable = []int64{
+	7, 8, 9, 10, 11, 12, 13, 14, 16, 17, 19, 21, 23, 25, 28, 31, 34, 37,
+	41, 45, 50, 55, 60, 66, 73, 80, 88, 97, 107, 118, 130, 143, 157, 173,
+	190, 209, 230, 253, 279, 307, 337, 371, 408, 449, 494, 544, 598, 658,
+	724, 796, 876, 963, 1060, 1166, 1282, 1411, 1552, 1707, 1878, 2066,
+	2272, 2499, 2749, 3024, 3327, 3660, 4026, 4428, 4871, 5358, 5894, 6484,
+	7132, 7845, 8630, 9493, 10442, 11487, 12635, 13899, 15289, 16818,
+	18500, 20350, 22385, 24623, 27086, 29794, 32767,
+}
+
+var imaIndexTable = []int64{-1, -1, -1, -1, 2, 4, 6, 8, -1, -1, -1, -1, 2, 4, 6, 8}
+
+// pcmWalk synthesizes a bounded random-walk audio signal.
+func pcmWalk(seed int64, n int) []int64 {
+	rng := randInts(seed, n, 2048)
+	out := make([]int64, n)
+	cur := int64(0)
+	for i := range out {
+		cur += rng[i] - 1024
+		if cur > 30000 {
+			cur = 30000
+		}
+		if cur < -30000 {
+			cur = -30000
+		}
+		out[i] = cur
+	}
+	return out
+}
+
+func adpcmWorkload(name string, mode int64, n int, seed int64) *Workload {
+	w := &Workload{Name: name, Bench: "adpcm", Source: adpcmSrc}
+	w.Inputs = []Input{
+		{Name: "stepTab", Ints: imaStepTable},
+		{Name: "idxTab", Ints: imaIndexTable},
+		scalar("n", int64(n)),
+		scalar("mode", mode),
+	}
+	if mode == 0 {
+		w.Inputs = append(w.Inputs, Input{Name: "pcm", Ints: pcmWalk(seed, n)})
+	} else {
+		w.Inputs = append(w.Inputs, Input{Name: "code", Ints: randInts(seed, n, 16)})
+	}
+	return w
+}
+
+const basicmathSrc = `
+float vals[4096];
+int ivals[4096];
+int n;
+float facc;
+int iacc;
+
+float cbrt(float x) {
+  float y = x;
+  if (y < 1.0) { y = 1.0; }
+  for (int it = 0; it < 24; it++) {
+    float y2 = y * y;
+    float ny = (2.0 * y + x / y2) / 3.0;
+    float d = ny - y;
+    if (d < 0.0) { d = -d; }
+    y = ny;
+    if (d < 0.000001) { break; }
+  }
+  return y;
+}
+
+int isqrt(int v) {
+  int r = 0;
+  int b = 1073741824;
+  while (b > v) { b = b >> 2; }
+  while (b != 0) {
+    if (v >= r + b) {
+      v -= r + b;
+      r = (r >> 1) + b;
+    } else {
+      r = r >> 1;
+    }
+    b = b >> 2;
+  }
+  return r;
+}
+
+void main() {
+  for (int i = 0; i < n; i++) {
+    facc = facc + cbrt(vals[i]);
+    iacc = iacc + isqrt(ivals[i]);
+    float deg = vals[i] * 57.29577951308232;
+    facc = facc + deg * 0.0174532925199433 - vals[i];
+  }
+  print(facc);
+  print(iacc);
+}
+`
+
+func basicmathWorkload(name string, n int, seed int64) *Workload {
+	return &Workload{
+		Name: name, Bench: "basicmath", Source: basicmathSrc,
+		Inputs: []Input{
+			{Name: "vals", Floats: randFloats(seed, n, 1, 10000)},
+			{Name: "ivals", Ints: randInts(seed+1, n, 1<<30)},
+			scalar("n", int64(n)),
+		},
+	}
+}
+
+const bitcountSrc = `
+int btbl[16];
+int data[65536];
+int n;
+int total;
+
+int cnt1(int v) {
+  int c = 0;
+  while (v != 0) {
+    c += v & 1;
+    v = v >> 1;
+  }
+  return c;
+}
+
+int cnt2(int v) {
+  int c = 0;
+  while (v != 0) {
+    v = v & (v - 1);
+    c++;
+  }
+  return c;
+}
+
+int cnt3(int v) {
+  int c = 0;
+  while (v != 0) {
+    c += btbl[v & 15];
+    v = v >> 4;
+  }
+  return c;
+}
+
+int cnt4(int v) {
+  v = (v & 0x55555555) + ((v >> 1) & 0x55555555);
+  v = (v & 0x33333333) + ((v >> 2) & 0x33333333);
+  v = (v & 0x0F0F0F0F) + ((v >> 4) & 0x0F0F0F0F);
+  v = (v & 0x00FF00FF) + ((v >> 8) & 0x00FF00FF);
+  v = (v & 0x0000FFFF) + ((v >> 16) & 0x0000FFFF);
+  return v;
+}
+
+void main() {
+  for (int i = 0; i < n; i++) {
+    int v = data[i];
+    int m = i & 3;
+    if (m == 0) { total += cnt1(v); }
+    else { if (m == 1) { total += cnt2(v); }
+    else { if (m == 2) { total += cnt3(v); }
+    else { total += cnt4(v); } } }
+  }
+  print(total);
+}
+`
+
+func bitcountWorkload(name string, n int, seed int64) *Workload {
+	nibbleBits := []int64{0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4}
+	return &Workload{
+		Name: name, Bench: "bitcount", Source: bitcountSrc,
+		Inputs: []Input{
+			{Name: "btbl", Ints: nibbleBits},
+			{Name: "data", Ints: randInts(seed, n, 1<<31)},
+			scalar("n", int64(n)),
+		},
+	}
+}
+
+const crc32Src = `
+int crcTab[256];
+int data[65536];
+int n;
+int crc;
+
+void buildTable() {
+  for (int i = 0; i < 256; i++) {
+    int c = i;
+    for (int k = 0; k < 8; k++) {
+      if ((c & 1) == 1) {
+        c = (c >> 1) ^ 0xEDB88320;
+      } else {
+        c = c >> 1;
+      }
+    }
+    crcTab[i] = c & 0xFFFFFFFF;
+  }
+}
+
+void main() {
+  buildTable();
+  crc = 0xFFFFFFFF;
+  for (int i = 0; i < n; i++) {
+    crc = ((crc >> 8) ^ crcTab[(crc ^ data[i]) & 255]) & 0xFFFFFFFF;
+  }
+  crc = crc ^ 0xFFFFFFFF;
+  print(crc);
+}
+`
+
+func crc32Workload(name string, n int, seed int64) *Workload {
+	return &Workload{
+		Name: name, Bench: "crc32", Source: crc32Src,
+		Inputs: []Input{
+			{Name: "data", Ints: randInts(seed, n, 256)},
+			scalar("n", int64(n)),
+		},
+	}
+}
+
+const dijkstraSrc = `
+int adj[16384];
+int dist[128];
+int visited[128];
+int V;
+int sources;
+int total;
+
+int run(int src) {
+  for (int i = 0; i < V; i++) {
+    dist[i] = 1000000;
+    visited[i] = 0;
+  }
+  dist[src] = 0;
+  for (int iter = 0; iter < V; iter++) {
+    int best = -1;
+    int bd = 1000001;
+    for (int i = 0; i < V; i++) {
+      if (visited[i] == 0 && dist[i] < bd) {
+        bd = dist[i];
+        best = i;
+      }
+    }
+    if (best < 0) { break; }
+    visited[best] = 1;
+    int row = best * V;
+    for (int i = 0; i < V; i++) {
+      int wgt = adj[row + i];
+      if (wgt > 0) {
+        int nd = dist[best] + wgt;
+        if (nd < dist[i]) { dist[i] = nd; }
+      }
+    }
+  }
+  return dist[V - 1];
+}
+
+void main() {
+  for (int s = 0; s < sources; s++) {
+    total += run(s % V);
+  }
+  print(total);
+}
+`
+
+// dijkstraGraph builds a sparse random weighted digraph as a V x V matrix
+// (0 = no edge), guaranteeing a ring so every node is reachable.
+func dijkstraGraph(seed int64, v int) []int64 {
+	rng := randInts(seed, v*v, 1000)
+	adj := make([]int64, v*v)
+	for i := 0; i < v; i++ {
+		for j := 0; j < v; j++ {
+			if i == j {
+				continue
+			}
+			r := rng[i*v+j]
+			if r < 150 { // ~15% density
+				adj[i*v+j] = 1 + r%97
+			}
+		}
+		adj[i*v+(i+1)%v] = 1 + rng[i*v]%13
+	}
+	return adj
+}
+
+func dijkstraWorkload(name string, v, sources int, seed int64) *Workload {
+	return &Workload{
+		Name: name, Bench: "dijkstra", Source: dijkstraSrc,
+		Inputs: []Input{
+			{Name: "adj", Ints: dijkstraGraph(seed, v)},
+			scalar("V", int64(v)),
+			scalar("sources", int64(sources)),
+		},
+	}
+}
+
+const fftSrc = `
+float re[1024];
+float im[1024];
+int n;
+int inverse;
+float spectSum;
+
+void fft() {
+  int j = 0;
+  for (int i = 0; i < n - 1; i++) {
+    if (i < j) {
+      float tr = re[i];
+      re[i] = re[j];
+      re[j] = tr;
+      float ti = im[i];
+      im[i] = im[j];
+      im[j] = ti;
+    }
+    int m = n >> 1;
+    while (m >= 1 && j >= m) {
+      j -= m;
+      m = m >> 1;
+    }
+    j += m;
+  }
+  float dir = 1.0;
+  if (inverse == 1) { dir = -1.0; }
+  int len = 2;
+  while (len <= n) {
+    float ang = dir * 6.283185307179586 / itof(len);
+    int half = len >> 1;
+    for (int i = 0; i < n; i += len) {
+      for (int k = 0; k < half; k++) {
+        float a = ang * itof(k);
+        float wr = cos(a);
+        float wi = sin(a);
+        int p = i + k;
+        int q = p + half;
+        float xr = re[q] * wr - im[q] * wi;
+        float xi = re[q] * wi + im[q] * wr;
+        re[q] = re[p] - xr;
+        im[q] = im[p] - xi;
+        re[p] = re[p] + xr;
+        im[p] = im[p] + xi;
+      }
+    }
+    len = len << 1;
+  }
+}
+
+void main() {
+  fft();
+  for (int i = 0; i < n; i++) {
+    spectSum = spectSum + re[i] * re[i] + im[i] * im[i];
+  }
+  print(spectSum);
+}
+`
+
+func fftWorkload(name string, n int, inverse int64, seed int64) *Workload {
+	return &Workload{
+		Name: name, Bench: "fft", Source: fftSrc,
+		Inputs: []Input{
+			{Name: "re", Floats: randFloats(seed, n, -1, 1)},
+			{Name: "im", Floats: randFloats(seed+1, n, -1, 1)},
+			scalar("n", int64(n)),
+			scalar("inverse", inverse),
+		},
+	}
+}

@@ -1,0 +1,514 @@
+package workloads
+
+// Second half of the suite: gsm, jpeg, patricia, qsort, sha,
+// stringsearch, susan.
+
+const gsmSrc = `
+int smp[19200];
+int ac[16];
+int frames;
+int mode;
+int acc;
+
+void analyze() {
+  for (int f = 0; f < frames; f++) {
+    int base = f * 160;
+    for (int lag = 0; lag < 9; lag++) {
+      int s = 0;
+      for (int i = lag; i < 160; i++) {
+        s += (smp[base + i] >> 3) * (smp[base + i - lag] >> 3);
+      }
+      ac[lag] = s;
+    }
+    if (f > 0) {
+      int bestLag = 40;
+      int bestC = -1000000000;
+      for (int lag = 40; lag <= 120; lag++) {
+        int c = 0;
+        for (int i = 0; i < 40; i++) {
+          c += (smp[base + i] >> 3) * (smp[base + i - lag] >> 3);
+        }
+        if (c > bestC) {
+          bestC = c;
+          bestLag = lag;
+        }
+      }
+      acc = (acc + bestLag) & 0xFFFFFF;
+    }
+    acc = (acc + (ac[0] >> 8)) & 0xFFFFFF;
+  }
+}
+
+void synthesize() {
+  for (int f = 0; f < frames; f++) {
+    int base = f * 160;
+    int p1 = 0;
+    int p2 = 0;
+    for (int i = 0; i < 160; i++) {
+      int e = smp[base + i] >> 2;
+      int y = e + ((p1 * 3) >> 2) - (p2 >> 1);
+      if (y > 32767) { y = 32767; }
+      if (y < -32768) { y = -32768; }
+      p2 = p1;
+      p1 = y;
+      acc = (acc + (y & 255)) & 0xFFFFFF;
+    }
+  }
+}
+
+void main() {
+  if (mode == 0) { analyze(); } else { synthesize(); }
+  print(acc);
+}
+`
+
+func gsmWorkload(name string, mode int64, frames int, seed int64) *Workload {
+	return &Workload{
+		Name: name, Bench: "gsm", Source: gsmSrc,
+		Inputs: []Input{
+			{Name: "smp", Ints: pcmWalk(seed, frames*160)},
+			scalar("frames", int64(frames)),
+			scalar("mode", mode),
+		},
+	}
+}
+
+const jpegSrc = `
+int img[16384];
+int coef[16384];
+int quant[64];
+float cosTab[64];
+int blocks;
+int acc;
+
+void buildCos() {
+  for (int u = 0; u < 8; u++) {
+    for (int x = 0; x < 8; x++) {
+      cosTab[u * 8 + x] = cos((2.0 * itof(x) + 1.0) * itof(u) * 3.141592653589793 / 16.0);
+    }
+  }
+}
+
+void main() {
+  buildCos();
+  for (int b = 0; b < blocks; b++) {
+    int base = b * 64;
+    for (int u = 0; u < 8; u++) {
+      for (int v = 0; v < 8; v++) {
+        float s = 0.0;
+        for (int x = 0; x < 8; x++) {
+          float cu = cosTab[u * 8 + x];
+          for (int y = 0; y < 8; y++) {
+            s = s + itof(img[base + x * 8 + y]) * cu * cosTab[v * 8 + y];
+          }
+        }
+        int q = ftoi(s * 0.25) / quant[u * 8 + v];
+        coef[base + u * 8 + v] = q;
+        acc = (acc + q) & 0xFFFFFF;
+      }
+    }
+  }
+  print(acc);
+}
+`
+
+func jpegWorkload(name string, blocks int, seed int64) *Workload {
+	quant := make([]int64, 64)
+	for i := range quant {
+		quant[i] = 8 + int64(i)*2 // a plausible luminance-like ramp
+	}
+	return &Workload{
+		Name: name, Bench: "jpeg", Source: jpegSrc,
+		Inputs: []Input{
+			{Name: "img", Ints: randInts(seed, blocks*64, 256)},
+			{Name: "quant", Ints: quant},
+			scalar("blocks", int64(blocks)),
+		},
+	}
+}
+
+const patriciaSrc = `
+int left[32768];
+int right[32768];
+int leafv[32768];
+int nNodes;
+int keys[4096];
+int n;
+int hits;
+
+int insert(int key) {
+  int node = 0;
+  for (int bit = 13; bit >= 0; bit--) {
+    int b = (key >> bit) & 1;
+    int next = 0;
+    if (b == 1) { next = right[node]; } else { next = left[node]; }
+    if (next == 0) {
+      if (nNodes >= 32760) { return 0; }
+      nNodes++;
+      next = nNodes;
+      if (b == 1) { right[node] = next; } else { left[node] = next; }
+    }
+    node = next;
+  }
+  leafv[node] = key;
+  return node;
+}
+
+int search(int key) {
+  int node = 0;
+  for (int bit = 13; bit >= 0; bit--) {
+    int b = (key >> bit) & 1;
+    if (b == 1) { node = right[node]; } else { node = left[node]; }
+    if (node == 0) { return 0; }
+  }
+  if (leafv[node] == key) { return 1; }
+  return 0;
+}
+
+void main() {
+  nNodes = 0;
+  for (int i = 0; i < n; i++) {
+    insert(keys[i]);
+  }
+  for (int i = 0; i < n; i++) {
+    hits += search(keys[i]);
+    hits += search((keys[i] + 7777) & 16383);
+  }
+  print(hits);
+  print(nNodes);
+}
+`
+
+func patriciaWorkload(name string, n int, seed int64) *Workload {
+	return &Workload{
+		Name: name, Bench: "patricia", Source: patriciaSrc,
+		Inputs: []Input{
+			{Name: "keys", Ints: randInts(seed, n, 16384)},
+			scalar("n", int64(n)),
+		},
+	}
+}
+
+const qsortSrc = `
+int arr[16384];
+int n;
+int check;
+
+void qs(int lo, int hi) {
+  if (lo >= hi) { return; }
+  int p = arr[(lo + hi) / 2];
+  int i = lo;
+  int j = hi;
+  while (i <= j) {
+    while (arr[i] < p) { i++; }
+    while (arr[j] > p) { j--; }
+    if (i <= j) {
+      int t = arr[i];
+      arr[i] = arr[j];
+      arr[j] = t;
+      i++;
+      j--;
+    }
+  }
+  qs(lo, j);
+  qs(i, hi);
+}
+
+void main() {
+  qs(0, n - 1);
+  for (int i = 0; i < n; i++) {
+    check = (check * 31 + arr[i]) & 0xFFFFFF;
+  }
+  int sorted = 1;
+  for (int i = 1; i < n; i++) {
+    if (arr[i - 1] > arr[i]) { sorted = 0; }
+  }
+  print(sorted);
+  print(check);
+}
+`
+
+func qsortWorkload(name string, n int, seed int64) *Workload {
+	return &Workload{
+		Name: name, Bench: "qsort", Source: qsortSrc,
+		Inputs: []Input{
+			{Name: "arr", Ints: randInts(seed, n, 1<<20)},
+			scalar("n", int64(n)),
+		},
+	}
+}
+
+const shaSrc = `
+int data[16384];
+int w[80];
+int nBlocks;
+int h0; int h1; int h2; int h3; int h4;
+
+int rotl(int x, int s) {
+  return ((x << s) | (x >> (32 - s))) & 0xFFFFFFFF;
+}
+
+void main() {
+  h0 = 0x67452301;
+  h1 = 0xEFCDAB89;
+  h2 = 0x98BADCFE;
+  h3 = 0x10325476;
+  h4 = 0xC3D2E1F0;
+  for (int b = 0; b < nBlocks; b++) {
+    int base = b * 16;
+    for (int i = 0; i < 16; i++) { w[i] = data[base + i] & 0xFFFFFFFF; }
+    for (int i = 16; i < 80; i++) {
+      w[i] = rotl(w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16], 1);
+    }
+    int a = h0;
+    int e2 = h1;
+    int c = h2;
+    int d = h3;
+    int e = h4;
+    for (int i = 0; i < 80; i++) {
+      int f = 0;
+      int k = 0;
+      if (i < 20) {
+        f = (e2 & c) | ((e2 ^ 0xFFFFFFFF) & d);
+        k = 0x5A827999;
+      } else { if (i < 40) {
+        f = e2 ^ c ^ d;
+        k = 0x6ED9EBA1;
+      } else { if (i < 60) {
+        f = (e2 & c) | (e2 & d) | (c & d);
+        k = 0x8F1BBCDC;
+      } else {
+        f = e2 ^ c ^ d;
+        k = 0xCA62C1D6;
+      } } }
+      int tmp = (rotl(a, 5) + f + e + k + w[i]) & 0xFFFFFFFF;
+      e = d;
+      d = c;
+      c = rotl(e2, 30);
+      e2 = a;
+      a = tmp;
+    }
+    h0 = (h0 + a) & 0xFFFFFFFF;
+    h1 = (h1 + e2) & 0xFFFFFFFF;
+    h2 = (h2 + c) & 0xFFFFFFFF;
+    h3 = (h3 + d) & 0xFFFFFFFF;
+    h4 = (h4 + e) & 0xFFFFFFFF;
+  }
+  print(h0);
+  print(h1);
+  print(h4);
+}
+`
+
+func shaWorkload(name string, blocks int, seed int64) *Workload {
+	return &Workload{
+		Name: name, Bench: "sha", Source: shaSrc,
+		Inputs: []Input{
+			{Name: "data", Ints: randInts(seed, blocks*16, 1<<32)},
+			scalar("nBlocks", int64(blocks)),
+		},
+	}
+}
+
+const stringsearchSrc = `
+int text[32768];
+int pats[1024];
+int skip[64];
+int tlen;
+int npats;
+int plen;
+int found;
+
+int searchOne(int pbase) {
+  for (int c = 0; c < 64; c++) { skip[c] = plen; }
+  for (int i = 0; i < plen - 1; i++) {
+    skip[pats[pbase + i]] = plen - 1 - i;
+  }
+  int hits = 0;
+  int pos = 0;
+  while (pos + plen <= tlen) {
+    int j = plen - 1;
+    while (j >= 0 && text[pos + j] == pats[pbase + j]) { j--; }
+    if (j < 0) {
+      hits++;
+      pos += plen;
+    } else {
+      pos += skip[text[pos + plen - 1]];
+    }
+  }
+  return hits;
+}
+
+void main() {
+  for (int p = 0; p < npats; p++) {
+    found += searchOne(p * plen);
+  }
+  print(found);
+}
+`
+
+func stringsearchWorkload(name string, tlen, npats int, seed int64) *Workload {
+	const plen = 8
+	text := randInts(seed, tlen, 26)
+	pats := make([]int64, npats*plen)
+	rng := randInts(seed+1, npats, int64(tlen-plen))
+	for p := 0; p < npats; p++ {
+		if p%2 == 0 {
+			// Half the patterns are real substrings (guaranteed hits).
+			copy(pats[p*plen:(p+1)*plen], text[rng[p]:rng[p]+plen])
+		} else {
+			copy(pats[p*plen:(p+1)*plen], randInts(seed+int64(p), plen, 26))
+		}
+	}
+	return &Workload{
+		Name: name, Bench: "stringsearch", Source: stringsearchSrc,
+		Inputs: []Input{
+			{Name: "text", Ints: text},
+			{Name: "pats", Ints: pats},
+			scalar("tlen", int64(tlen)),
+			scalar("npats", int64(npats)),
+			scalar("plen", plen),
+		},
+	}
+}
+
+const susanSrc = `
+int img[4096];
+int outimg[4096];
+int W;
+int H;
+int mode;
+int thresh;
+int acc;
+
+void smooth() {
+  for (int y = 1; y < H - 1; y++) {
+    for (int x = 1; x < W - 1; x++) {
+      int s = img[(y - 1) * W + x - 1] + 2 * img[(y - 1) * W + x] + img[(y - 1) * W + x + 1]
+            + 2 * img[y * W + x - 1] + 4 * img[y * W + x] + 2 * img[y * W + x + 1]
+            + img[(y + 1) * W + x - 1] + 2 * img[(y + 1) * W + x] + img[(y + 1) * W + x + 1];
+      outimg[y * W + x] = s / 16;
+      acc = (acc + outimg[y * W + x]) & 0xFFFFFF;
+    }
+  }
+}
+
+int usan(int x, int y) {
+  int c = img[y * W + x];
+  int cnt = 0;
+  for (int dy = -1; dy <= 1; dy++) {
+    for (int dx = -1; dx <= 1; dx++) {
+      int d = img[(y + dy) * W + x + dx] - c;
+      if (d < 0) { d = -d; }
+      if (d < thresh) { cnt++; }
+    }
+  }
+  return cnt;
+}
+
+void edges() {
+  for (int y = 1; y < H - 1; y++) {
+    for (int x = 1; x < W - 1; x++) {
+      int cnt = usan(x, y);
+      if (cnt < 6) {
+        outimg[y * W + x] = 255;
+        acc++;
+      } else {
+        outimg[y * W + x] = 0;
+      }
+    }
+  }
+}
+
+void corners() {
+  for (int y = 1; y < H - 1; y++) {
+    for (int x = 1; x < W - 1; x++) {
+      int cnt = usan(x, y);
+      if (cnt < 4) {
+        outimg[y * W + x] = 255;
+        acc++;
+      } else {
+        outimg[y * W + x] = 0;
+      }
+    }
+  }
+}
+
+void main() {
+  for (int pass = 0; pass < 3; pass++) {
+    if (mode == 0) { smooth(); }
+    else { if (mode == 1) { edges(); } else { corners(); } }
+  }
+  print(acc);
+}
+`
+
+// susanImage synthesizes an image with smooth gradients plus speckle so the
+// edge/corner detectors have structure to find.
+func susanImage(seed int64, w, h int) []int64 {
+	noise := randInts(seed, w*h, 64)
+	img := make([]int64, w*h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			v := int64((x*255)/w+(y*128)/h)/2 + noise[y*w+x]
+			if (x/8+y/8)%2 == 0 {
+				v += 60 // blocky structure creates edges
+			}
+			if v > 255 {
+				v = 255
+			}
+			img[y*w+x] = v
+		}
+	}
+	return img
+}
+
+func susanWorkload(name string, mode int64, w, h int, seed int64) *Workload {
+	return &Workload{
+		Name: name, Bench: "susan", Source: susanSrc,
+		Inputs: []Input{
+			{Name: "img", Ints: susanImage(seed, w, h)},
+			scalar("W", int64(w)),
+			scalar("H", int64(h)),
+			scalar("mode", mode),
+			scalar("thresh", 27),
+		},
+	}
+}
+
+// init registers the 32 workload/input pairs of the paper's Fig. 4, in its
+// x-axis order.
+func init() {
+	register(adpcmWorkload("adpcm/large1", 0, 12000, 101))
+	register(adpcmWorkload("adpcm/large2", 1, 12000, 102))
+	register(adpcmWorkload("adpcm/small1", 0, 3000, 103))
+	register(adpcmWorkload("adpcm/small2", 1, 3000, 104))
+	register(basicmathWorkload("basicmath/large", 2600, 201))
+	register(basicmathWorkload("basicmath/small", 650, 202))
+	register(bitcountWorkload("bitcount/large", 11000, 301))
+	register(bitcountWorkload("bitcount/small", 2700, 302))
+	register(crc32Workload("crc32/large", 40000, 401))
+	register(crc32Workload("crc32/small", 10000, 402))
+	register(dijkstraWorkload("dijkstra/large", 96, 10, 501))
+	register(dijkstraWorkload("dijkstra/small", 48, 6, 502))
+	register(fftWorkload("fft/large1", 1024, 0, 601))
+	register(fftWorkload("fft/large2", 1024, 1, 602))
+	register(fftWorkload("fft/small1", 512, 0, 603))
+	register(gsmWorkload("gsm/large1", 0, 20, 701))
+	register(gsmWorkload("gsm/large2", 1, 110, 702))
+	register(gsmWorkload("gsm/small1", 0, 5, 703))
+	register(gsmWorkload("gsm/small2", 1, 28, 704))
+	register(jpegWorkload("jpeg/large1", 20, 801))
+	register(patriciaWorkload("patricia/small", 1500, 901))
+	register(qsortWorkload("qsort/large", 8000, 1001))
+	register(shaWorkload("sha/large", 40, 1101))
+	register(shaWorkload("sha/small", 16, 1102))
+	register(stringsearchWorkload("stringsearch/large", 30000, 12, 1201))
+	register(stringsearchWorkload("stringsearch/small", 8000, 6, 1202))
+	register(susanWorkload("susan/large1", 0, 64, 64, 1301))
+	register(susanWorkload("susan/large2", 1, 64, 64, 1302))
+	register(susanWorkload("susan/large3", 2, 64, 64, 1303))
+	register(susanWorkload("susan/small1", 0, 32, 32, 1304))
+	register(susanWorkload("susan/small2", 1, 32, 32, 1305))
+	register(susanWorkload("susan/small3", 2, 32, 32, 1306))
+}

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/compiler"
+	"repro/internal/core"
+	"repro/internal/hlc"
+	"repro/internal/isa"
+	"repro/internal/profile"
+	"repro/internal/vm"
+	"repro/internal/workloads"
+)
+
+func main() {
+	for _, name := range []string{"crc32/small", "dijkstra/small", "fft/small1"} {
+		w := workloads.ByName(name)
+		cp := hlc.MustCheck(w.Source)
+		prog, _ := compiler.Compile(cp, isa.AMD64, compiler.O0)
+		prof, err := profile.Collect(prog, w.Setup, w.Name, profile.Options{})
+		if err != nil { panic(err) }
+		clone, rep, err := core.Synthesize(prof, core.Config{Seed: 20100321})
+		if err != nil { panic(err) }
+		ccp, _ := hlc.Check(clone)
+		cprog, _ := compiler.Compile(ccp, isa.AMD64, compiler.O0)
+		var mix [isa.NumClasses]uint64
+		var total uint64
+		res, err := vm.New(cprog).Run(vm.Config{MaxInstrs: 50000000, Hook: func(ev *vm.Event) {
+			total++
+			mix[ev.Instr.Class()]++
+		}})
+		if err != nil { panic(err) }
+		fmt.Printf("== %s  coverage=%.3f  R=%d  origDyn=%d cloneDyn=%d\n", name, rep.Coverage, rep.Reduction, prof.TotalDyn, res.DynInstrs)
+		fmt.Printf("  orig mix: ")
+		for c := 0; c < isa.NumClasses; c++ {
+			if prof.Mix[c] > 0 {
+				fmt.Printf("%v=%.3f ", isa.Class(c), float64(prof.Mix[c])/float64(prof.TotalDyn))
+			}
+		}
+		fmt.Printf("\n  syn mix:  ")
+		for c := 0; c < isa.NumClasses; c++ {
+			if mix[c] > 0 {
+				fmt.Printf("%v=%.3f ", isa.Class(c), float64(mix[c])/float64(total))
+			}
+		}
+		fmt.Println()
+	}
+	// coverage per workload over full suite
+	for _, w := range workloads.All() {
+		cp := hlc.MustCheck(w.Source)
+		prog, _ := compiler.Compile(cp, isa.AMD64, compiler.O0)
+		prof, _ := profile.Collect(prog, w.Setup, w.Name, profile.Options{})
+		_, rep, err := core.Synthesize(prof, core.Config{Seed: 20100321})
+		if err != nil { panic(w.Name + ": " + err.Error()) }
+		if rep.Coverage < 0.85 {
+			fmt.Printf("LOW coverage %-24s %.3f\n", w.Name, rep.Coverage)
+		}
+	}
+}
