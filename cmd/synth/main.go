@@ -1,0 +1,329 @@
+// Command synth is the framework's command-line front end: it profiles
+// workloads, synthesizes benchmark clones, and regenerates the paper's
+// evaluation, all through the internal/pipeline orchestration layer.
+//
+// Usage:
+//
+//	synth profile -workload NAME [-isa amd64] [-O 0] [-workers N]
+//	synth synthesize -workload NAME [-seed N] [-report] [-validate]
+//	synth experiments [-suite tiny|quick|full] [-only LIST] [-workers N] [-seed N]
+//	synth workloads
+//
+// `synth experiments` renders the same rows as the library API in
+// internal/experiments (it calls the same Runner), so the CLI and `go
+// test` agree by construction.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"sort"
+	"strings"
+
+	"repro/internal/compiler"
+	"repro/internal/experiments"
+	"repro/internal/isa"
+	"repro/internal/pipeline"
+	"repro/internal/workloads"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// commonFlags are shared by every subcommand.
+type commonFlags struct {
+	workers int
+	seed    int64
+	isaName string
+	level   int
+}
+
+func addCommon(fs *flag.FlagSet, c *commonFlags) {
+	fs.IntVar(&c.workers, "workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	fs.Int64Var(&c.seed, "seed", experiments.CloneSeed, "clone synthesis seed")
+	fs.StringVar(&c.isaName, "isa", isa.AMD64.Name, "profiling target ISA (x86v, amd64v, ia64v)")
+	fs.IntVar(&c.level, "O", 0, "profiling optimization level (0-3)")
+}
+
+func (c *commonFlags) pipeline() (*pipeline.Pipeline, error) {
+	target := isa.ByName(c.isaName)
+	if target == nil {
+		return nil, fmt.Errorf("unknown ISA %q", c.isaName)
+	}
+	if c.level < 0 || c.level >= len(compiler.Levels) {
+		return nil, fmt.Errorf("optimization level -O%d out of range 0-%d", c.level, len(compiler.Levels)-1)
+	}
+	return pipeline.New(pipeline.Options{
+		Workers:      c.workers,
+		Seed:         c.seed,
+		ProfileISA:   target,
+		ProfileLevel: compiler.Levels[c.level],
+	}), nil
+}
+
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	if len(args) == 0 {
+		usage(stderr)
+		return 2
+	}
+	var err error
+	switch args[0] {
+	case "profile":
+		err = cmdProfile(ctx, args[1:], stdout, stderr)
+	case "synthesize":
+		err = cmdSynthesize(ctx, args[1:], stdout, stderr)
+	case "experiments":
+		err = cmdExperiments(ctx, args[1:], stdout, stderr)
+	case "workloads":
+		err = cmdWorkloads(args[1:], stdout)
+	case "help", "-h", "-help", "--help":
+		usage(stdout)
+		return 0
+	default:
+		fmt.Fprintf(stderr, "synth: unknown command %q\n", args[0])
+		usage(stderr)
+		return 2
+	}
+	if err != nil {
+		if err == flag.ErrHelp {
+			return 2
+		}
+		fmt.Fprintf(stderr, "synth: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+func usage(w io.Writer) {
+	fmt.Fprint(w, `synth — benchmark synthesis for architecture and compiler exploration
+
+Commands:
+  profile      profile a workload and emit its statistical profile as JSON
+  synthesize   synthesize a workload's clone and emit its HLC source
+  experiments  regenerate the paper's tables and figures
+  workloads    list available workload/input pairs
+
+Common flags: -workers N  -seed N  -isa NAME  -O N
+Run "synth <command> -h" for command-specific flags.
+`)
+}
+
+func lookupWorkload(name string) (*workloads.Workload, error) {
+	if name == "" {
+		return nil, fmt.Errorf("missing -workload (try \"synth workloads\")")
+	}
+	w := workloads.ByName(name)
+	if w == nil {
+		return nil, fmt.Errorf("unknown workload %q (try \"synth workloads\")", name)
+	}
+	return w, nil
+}
+
+func cmdProfile(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("synth profile", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var c commonFlags
+	addCommon(fs, &c)
+	name := fs.String("workload", "", "workload/input pair to profile (e.g. crc32/small)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	w, err := lookupWorkload(*name)
+	if err != nil {
+		return err
+	}
+	p, err := c.pipeline()
+	if err != nil {
+		return err
+	}
+	prof, err := p.Profile(ctx, w)
+	if err != nil {
+		return err
+	}
+	return prof.Save(stdout)
+}
+
+func cmdSynthesize(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("synth synthesize", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var c commonFlags
+	addCommon(fs, &c)
+	name := fs.String("workload", "", "workload/input pair to clone (e.g. crc32/small)")
+	report := fs.Bool("report", false, "print the synthesis report to stderr")
+	validate := fs.Bool("validate", false, "run the Validate stage on the clone")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	w, err := lookupWorkload(*name)
+	if err != nil {
+		return err
+	}
+	p, err := c.pipeline()
+	if err != nil {
+		return err
+	}
+	cl, err := p.Synthesize(ctx, w)
+	if err != nil {
+		return err
+	}
+	if *validate {
+		if err := p.Validate(ctx, w); err != nil {
+			return err
+		}
+	}
+	if *report {
+		rep := cl.Report
+		fmt.Fprintf(stderr, "workload %s: R=%d coverage=%.3f functions=%d stream classes=%v\n",
+			rep.Workload, rep.Reduction, rep.Coverage, rep.Functions, rep.StreamClasses)
+	}
+	fmt.Fprint(stdout, cl.Source)
+	return nil
+}
+
+// experimentNames is the render order of `synth experiments`.
+var experimentNames = []string{
+	"table1", "table2", "table3",
+	"fig4", "fig5", "fig6a", "fig6b", "fig7", "fig8", "fig9", "fig10", "fig11",
+	"obfuscation",
+}
+
+func cmdExperiments(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("synth experiments", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var c commonFlags
+	addCommon(fs, &c)
+	suite := fs.String("suite", "quick", "workload suite: tiny, quick, or full")
+	only := fs.String("only", "", "comma-separated experiment subset (e.g. fig4,fig11); empty = all")
+	stats := fs.Bool("stats", false, "print artifact-cache statistics to stderr afterwards")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var ws []*workloads.Workload
+	switch *suite {
+	case "tiny":
+		for _, n := range []string{"crc32/small", "dijkstra/small", "fft/small1"} {
+			if w := workloads.ByName(n); w != nil {
+				ws = append(ws, w)
+			}
+		}
+	case "quick":
+		ws = experiments.Quick()
+	case "full":
+		ws = experiments.Full()
+	default:
+		return fmt.Errorf("unknown suite %q (want tiny, quick, or full)", *suite)
+	}
+
+	selected := map[string]bool{}
+	if *only != "" {
+		for _, n := range strings.Split(*only, ",") {
+			n = strings.TrimSpace(strings.ToLower(n))
+			if n == "" {
+				continue
+			}
+			ok := false
+			for _, known := range experimentNames {
+				if n == known {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				return fmt.Errorf("unknown experiment %q (known: %s)", n, strings.Join(experimentNames, ", "))
+			}
+			selected[n] = true
+		}
+	}
+	want := func(n string) bool { return len(selected) == 0 || selected[n] }
+
+	p, err := c.pipeline()
+	if err != nil {
+		return err
+	}
+	r := experiments.NewRunner(p)
+
+	type printable interface{ Print(io.Writer) }
+	render := func(name string, run func() (printable, error)) error {
+		if !want(name) {
+			return nil
+		}
+		res, err := run()
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		res.Print(stdout)
+		fmt.Fprintln(stdout)
+		return nil
+	}
+
+	if want("table1") {
+		experiments.PrintTableI(stdout, experiments.TableI())
+		fmt.Fprintln(stdout)
+	}
+	if err := render("table2", func() (printable, error) { return r.TableII(ctx, ws) }); err != nil {
+		return err
+	}
+	if want("table3") {
+		experiments.PrintTableIII(stdout)
+		fmt.Fprintln(stdout)
+	}
+	steps := []struct {
+		name string
+		run  func() (printable, error)
+	}{
+		{"fig4", func() (printable, error) { return r.Fig4(ctx, ws) }},
+		{"fig5", func() (printable, error) { return r.Fig5(ctx, ws) }},
+		{"fig6a", func() (printable, error) { return r.Fig6(ctx, ws, compiler.O0) }},
+		{"fig6b", func() (printable, error) { return r.Fig6(ctx, ws, compiler.O2) }},
+		{"fig7", func() (printable, error) { return r.FigCache(ctx, ws, compiler.O0) }},
+		{"fig8", func() (printable, error) { return r.FigCache(ctx, ws, compiler.O2) }},
+		{"fig9", func() (printable, error) { return r.Fig9(ctx, ws) }},
+		{"fig10", func() (printable, error) { return r.Fig10(ctx, ws) }},
+		{"fig11", func() (printable, error) { return r.Fig11(ctx, ws) }},
+		{"obfuscation", func() (printable, error) { return r.Obfuscation(ctx, ws) }},
+	}
+	for _, s := range steps {
+		if err := render(s.name, s.run); err != nil {
+			return err
+		}
+	}
+	if *stats {
+		cs := p.CacheStats()
+		total := cs.Hits + cs.Misses
+		rate := 0.0
+		if total > 0 {
+			rate = float64(cs.Hits) / float64(total)
+		}
+		fmt.Fprintf(stderr, "artifact cache: %d hits, %d misses (%.1f%% hit rate), %d workers\n",
+			cs.Hits, cs.Misses, rate*100, p.Workers())
+	}
+	return nil
+}
+
+func cmdWorkloads(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("synth workloads", flag.ContinueOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	byBench := map[string][]string{}
+	var benches []string
+	for _, w := range workloads.All() {
+		if _, ok := byBench[w.Bench]; !ok {
+			benches = append(benches, w.Bench)
+		}
+		byBench[w.Bench] = append(byBench[w.Bench], w.Name)
+	}
+	sort.Strings(benches)
+	for _, b := range benches {
+		fmt.Fprintf(stdout, "%-14s %s\n", b, strings.Join(byBench[b], " "))
+	}
+	return nil
+}

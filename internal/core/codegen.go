@@ -16,13 +16,13 @@ import (
 // offsets without re-masking — keeping the compiled access as dense in
 // loads as the original code's (index load + element load).
 const (
-	intStreamLen   = 16384 // walking range: 64KB of 4-byte elements
-	intStreamMask  = intStreamLen - 1
+	intStreamLen    = 16384 // walking range: 64KB of 4-byte elements
+	intStreamMask   = intStreamLen - 1
 	floatStreamLen  = 8192 // walking range: 64KB of 8-byte elements
 	floatStreamMask = floatStreamLen - 1
-	streamPad      = 16 // headroom for constant offsets past the index
-	smallStreamLen = 64 // class 0 (always hit) working set
-	guardLen       = 64
+	streamPad       = 16 // headroom for constant offsets past the index
+	smallStreamLen  = 64 // class 0 (always hit) working set
+	guardLen        = 64
 )
 
 // generator turns a skeleton into an HLC program.
@@ -45,6 +45,13 @@ type generator struct {
 	consumedInstrs float64
 	totalInstrs    float64
 
+	// compDyn is the dynamic-instruction budget for the mix-compensation
+	// loop (0 = derive a warm start from the footprint deficit);
+	// compDensity reports the loads-per-instruction density the emitted
+	// loop achieves, for Synthesize's feedback calibration.
+	compDyn     float64
+	compDensity float64
+
 	funcs []*hlc.FuncDecl
 }
 
@@ -61,16 +68,6 @@ func (gen *generator) coverage() float64 {
 		cov = 1
 	}
 	return cov
-}
-
-// estimatedDyn estimates the clone's dynamic instruction count from the
-// accumulated statement footprints; Synthesize uses it to calibrate R.
-func (gen *generator) estimatedDyn() float64 {
-	var t float64
-	for _, v := range gen.emitted {
-		t += v
-	}
-	return t
 }
 
 func (gen *generator) usedClasses() []int {
@@ -111,6 +108,9 @@ func (gen *generator) program(items []item) *hlc.Program {
 			}},
 		})
 		gen.usedInt[0] = true
+	}
+	if fn := gen.mixCompensationFunc(); fn != nil {
+		gen.funcs = append(gen.funcs, fn)
 	}
 
 	prog := &hlc.Program{}
@@ -159,6 +159,94 @@ func (gen *generator) program(items []item) *hlc.Program {
 		Name: "main", Ret: hlc.TypeVoid, Body: &hlc.Block{Stmts: mainStmts},
 	})
 	return prog
+}
+
+// compDensityEstimate is the load density Synthesize assumes for the
+// compensation loop before one has been generated and its exact density
+// reported via compDensity.
+const compDensityEstimate = 0.6
+
+// mixCompensationFunc is the paper's global mix compensation: after pattern
+// translation, a final work function makes up the clone's load deficit with
+// a counted loop of load-dense stride statements. Translation overhead
+// (loop iterators, walking indices, address masks) is constant- and
+// ALU-heavy, so without this step clones systematically under-represent
+// loads relative to their originals (Fig. 6). The loop's dynamic size comes
+// from gen.compDyn, which Synthesize calibrates by executing the candidate
+// clone and measuring its actual mix; a zero budget emits nothing.
+func (gen *generator) mixCompensationFunc() *hlc.FuncDecl {
+	if gen.compDyn < 1 {
+		return nil
+	}
+	// Rotate through the walking classes already in use so the extra
+	// traffic keeps the clone's Table I stride behavior; a clone with no
+	// walking traffic at all gets one mid-stride class.
+	var classes []int
+	for c := 1; c < sfgl.NumMemClasses; c++ {
+		if gen.usedInt[c] || gen.usedFloat[c] {
+			classes = append(classes, c)
+		}
+	}
+	if len(classes) == 0 {
+		classes = []int{2}
+	}
+
+	// Compound assignment over a sum of stride walks is the densest load
+	// idiom the compiler emits: A[pa] += B[pb] + ... + G[pg] with six
+	// source terms is 14 loads in 22 -O0 instructions. The store between
+	// statements keeps local CSE from collapsing the loads at higher
+	// optimization levels.
+	const stmtsPerIter = 12
+	const termsPerStmt = 6
+	var body []hlc.Stmt
+	var loadsPerIter, instrsPerIter float64
+	for s := 0; s < stmtsPerIter; s++ {
+		dst := classes[s%len(classes)]
+		rhs := hlc.Expr(gen.intStreamWalk(classes[(s+1)%len(classes)], int64(s%streamPad)))
+		for t := 1; t < termsPerStmt; t++ {
+			rhs = &hlc.BinaryExpr{Op: hlc.Plus, X: rhs,
+				Y: gen.intStreamWalk(classes[(s+1+t)%len(classes)], int64((s+t)%streamPad))}
+		}
+		body = append(body, &hlc.AssignStmt{
+			LHS: gen.intStreamWalk(dst, 0), Op: hlc.PlusEq, RHS: rhs,
+		})
+		// Each walking reference costs an index load and an element load;
+		// term offsets add a constant and an add; chained terms and the
+		// compound assignment add one ALU op each, plus the final store.
+		loadsPerIter += 2 + 2*termsPerStmt
+		instrsPerIter += 3*termsPerStmt + 4
+	}
+	body = append(body, gen.advances(false, 0, classes...)...)
+	loadsPerIter += float64(len(classes)) // each advance reloads its index
+	instrsPerIter += 6 * float64(len(classes))
+	loadsPerIter += 2 // loop iterator compare and increment
+	instrsPerIter += 9
+
+	trip := int(gen.compDyn / instrsPerIter)
+	if trip < 1 {
+		return nil
+	}
+	if trip > 1<<20 {
+		trip = 1 << 20
+	}
+	gen.compDensity = loadsPerIter / instrsPerIter
+	iter := "mcomp"
+	gen.account(stmtFootprint{
+		loads:    loadsPerIter,
+		stores:   stmtsPerIter + float64(len(classes)),
+		ialu:     float64(stmtsPerIter*termsPerStmt) + 2*float64(len(classes)) + 2,
+		branches: 1,
+	}, float64(trip))
+	return &hlc.FuncDecl{
+		Name: fmt.Sprintf("work%d", len(gen.funcs)),
+		Ret:  hlc.TypeVoid,
+		Body: &hlc.Block{Stmts: []hlc.Stmt{&hlc.ForStmt{
+			Init: &hlc.DeclStmt{Decl: &hlc.VarDecl{Name: iter, Type: hlc.TypeInt, Init: intLit(0)}},
+			Cond: &hlc.BinaryExpr{Op: hlc.Lt, X: &hlc.VarRef{Name: iter}, Y: intLit(int64(trip))},
+			Post: &hlc.AssignStmt{LHS: &hlc.VarRef{Name: iter}, Op: hlc.PlusEq, RHS: intLit(1)},
+			Body: &hlc.Block{Stmts: body},
+		}}},
+	}
 }
 
 // loopCtx tracks enclosing synthetic loop iterator names.
@@ -249,21 +337,27 @@ func (gen *generator) wrapFreq(stmt hlc.Stmt, frac float64, ctx loopCtx, w float
 	gen.account(stmtFootprint{branches: 1, ialu: 2, loads: 1}, w)
 	return &hlc.IfStmt{
 		Cond: &hlc.BinaryExpr{Op: hlc.Lt,
-			X: &hlc.BinaryExpr{Op: hlc.Percent, X: &hlc.VarRef{Name: iter}, Y: intLit(int64(m))},
+			X: &hlc.BinaryExpr{Op: hlc.Amp, X: &hlc.VarRef{Name: iter}, Y: intLit(int64(m - 1))},
 			Y: intLit(int64(k))},
 		Then: toBlock(stmt),
 	}
 }
 
-// moduloFor picks modulo parameters (m, k) so that (i % m) < k holds for
+// moduloFor picks modulo parameters (m, k) so that (i mod m) < k holds for
 // about takenFrac of consecutive i, with a period reflecting transRate.
+// m is a power of two so the test compiles to a mask (i & (m-1)) < k:
+// originals have essentially no integer divides, and a `%` here would
+// flood the clone's mix with idiv-class instructions the profile lacks.
 func moduloFor(takenFrac, transRate float64) (int, int) {
 	m := 4
 	if transRate > 0 {
 		m = int(2.0/transRate + 0.5)
 	}
-	if m < 2 {
-		m = 2
+	for p := 2; p <= 64; p *= 2 {
+		if p >= m {
+			m = p
+			break
+		}
 	}
 	if m > 64 {
 		m = 64
@@ -297,7 +391,7 @@ func (gen *generator) branchStmt(b *sfgl.BranchInfo, ctx loopCtx, w float64) hlc
 	gen.account(stmtFootprint{ialu: 2}, w)
 	return &hlc.IfStmt{
 		Cond: &hlc.BinaryExpr{Op: hlc.Lt,
-			X: &hlc.BinaryExpr{Op: hlc.Percent, X: &hlc.VarRef{Name: iter}, Y: intLit(int64(m))},
+			X: &hlc.BinaryExpr{Op: hlc.Amp, X: &hlc.VarRef{Name: iter}, Y: intLit(int64(m - 1))},
 			Y: intLit(int64(k))},
 		Then: toBlock(gen.smallStmt(w * b.TakenRate)),
 		Else: toBlock(gen.smallStmt(w * (1 - b.TakenRate))),
@@ -465,8 +559,4 @@ func (gen *generator) account(f stmtFootprint, w float64) {
 	gen.emitted[isa.ClassIntALU] += f.ialu * w
 	gen.emitted[isa.ClassFPAdd] += f.fpu * w
 	gen.emitted[isa.ClassBranch] += f.branches * w
-}
-
-func (gen *generator) deficit(c isa.Class) float64 {
-	return gen.target[c] - gen.emitted[c]
 }

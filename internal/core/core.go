@@ -99,14 +99,20 @@ func Synthesize(p *profile.Profile, cfg Config) (*hlc.Program, Report, error) {
 
 	// The paper picks R empirically so the clone hits a fixed dynamic
 	// size; we automate that by generating, executing the candidate clone
-	// (cheap — it is the reduced benchmark), and correcting R.
+	// (cheap — it is the reduced benchmark), and correcting R. A second
+	// feedback phase then drives mix compensation: the observed load
+	// fraction is compared against the profile's, and the compensation
+	// loop's budget grows or shrinks until the clone's mix tracks the
+	// original's (Fig. 6).
 	var prog *hlc.Program
 	var rep Report
-	for attempt := 0; ; attempt++ {
+	var compDyn float64
+	generate := func() *generator {
 		rng := rand.New(rand.NewSource(cfg.Seed ^ 0x5FC9))
 		scaled := p.Graph.ScaleDown(r)
 		sk := buildSkeleton(scaled, rng, cfg.MaxSkeletonItems)
 		gen := newGenerator(scaled, rng)
+		gen.compDyn = compDyn
 		prog = gen.program(sk.items)
 		rep = Report{
 			Workload:      p.Workload,
@@ -119,25 +125,88 @@ func Synthesize(p *profile.Profile, cfg Config) (*hlc.Program, Report, error) {
 			StreamClasses: gen.usedClasses(),
 			Truncated:     sk.truncated,
 		}
-		if cfg.Reduction != 0 || attempt >= 3 {
-			break
+		return gen
+	}
+	gen := generate()
+	if cfg.Reduction == 0 {
+		// Phase 1: calibrate R so the base clone (no compensation yet)
+		// lands near TargetDyn.
+		for attempt := 0; attempt < 3; attempt++ {
+			actual, _, err := measureClone(prog, 16*cfg.TargetDyn)
+			if err != nil {
+				return nil, rep, fmt.Errorf("core: calibration run: %w", err)
+			}
+			ratio := float64(actual) / float64(cfg.TargetDyn)
+			if ratio < 1.4 && ratio > 0.7 {
+				break
+			}
+			nr := uint64(float64(r) * ratio)
+			if nr < 1 {
+				nr = 1
+			}
+			if nr == r {
+				break
+			}
+			r = nr
+			gen = generate()
 		}
-		actual, err := measureCloneDyn(prog, 8*cfg.TargetDyn)
-		if err != nil {
-			return nil, rep, fmt.Errorf("core: calibration run: %w", err)
+		// Phase 2: fit the compensation budget. Solving
+		// (L + d*X)/(T + X) = f for the extra instructions X, where d is
+		// the loop's load density, f the profile's load fraction. The
+		// density bounds the reachable fraction, so f backs off just
+		// under d, and the budget is capped so the clone keeps a healthy
+		// reduction factor over the original (Fig. 4).
+		targetLoadFrac := float64(p.Mix[isa.ClassLoad]) / float64(p.TotalDyn)
+		// The clone must stay well under the original's dynamic size or
+		// the Fig. 4 reduction factor inverts; compensation never grows
+		// the total beyond this ceiling.
+		maxTotal := 0.7 * float64(p.TotalDyn)
+		// The measurement must be able to see past the ceiling, or the
+		// loop would keep growing compDyn against a truncated reading
+		// and the ceiling guard could never fire.
+		budget := 16 * cfg.TargetDyn
+		if mb := uint64(2 * maxTotal); budget < mb {
+			budget = mb
 		}
-		ratio := float64(actual) / float64(cfg.TargetDyn)
-		if ratio < 1.4 && ratio > 0.7 {
-			break
+		for attempt := 0; attempt < 4; attempt++ {
+			actual, mix, err := measureClone(prog, budget)
+			if err != nil {
+				return nil, rep, fmt.Errorf("core: mix calibration: %w", err)
+			}
+			if float64(actual) > maxTotal && compDyn > 0 {
+				compDyn -= float64(actual) - maxTotal
+				if compDyn < 0 {
+					compDyn = 0
+				}
+				gen = generate()
+				continue
+			}
+			density := gen.compDensity
+			if density == 0 {
+				density = compDensityEstimate
+			}
+			f := targetLoadFrac
+			if f > density-0.05 {
+				f = density - 0.05
+			}
+			loadFrac := float64(mix[isa.ClassLoad]) / float64(actual)
+			if f <= 0 || (loadFrac > f-0.02 && loadFrac < f+0.02) {
+				break
+			}
+			delta := (f*float64(actual) - float64(mix[isa.ClassLoad])) / (density - f)
+			if room := maxTotal - float64(actual); delta > room {
+				delta = room
+			}
+			next := compDyn + delta
+			if next < 0 {
+				next = 0
+			}
+			if next == compDyn {
+				break
+			}
+			compDyn = next
+			gen = generate()
 		}
-		nr := uint64(float64(r) * ratio)
-		if nr < 1 {
-			nr = 1
-		}
-		if nr == r {
-			break
-		}
-		r = nr
 	}
 
 	// The clone must be a valid HLC program; a failure here is a bug in
@@ -148,26 +217,30 @@ func Synthesize(p *profile.Profile, cfg Config) (*hlc.Program, Report, error) {
 	return prog, rep, nil
 }
 
-// measureCloneDyn compiles a candidate clone at -O0 and executes it to
-// obtain its true dynamic instruction count. The clone is self-contained
-// (stride arrays start zeroed), so no input setup is needed.
-func measureCloneDyn(prog *hlc.Program, budget uint64) (uint64, error) {
+// measureClone compiles a candidate clone at -O0 and executes it to obtain
+// its true dynamic instruction count and class mix. The clone is
+// self-contained (stride arrays start zeroed), so no input setup is needed.
+func measureClone(prog *hlc.Program, budget uint64) (uint64, [isa.NumClasses]uint64, error) {
+	var mix [isa.NumClasses]uint64
 	cp, err := hlc.Check(prog)
 	if err != nil {
-		return 0, err
+		return 0, mix, err
 	}
 	mp, err := compiler.Compile(cp, isa.AMD64, compiler.O0)
 	if err != nil {
-		return 0, err
+		return 0, mix, err
 	}
-	res, err := vm.New(mp).Run(vm.Config{MaxInstrs: budget})
+	res, err := vm.New(mp).Run(vm.Config{
+		MaxInstrs: budget,
+		Hook:      func(ev *vm.Event) { mix[ev.Instr.Class()]++ },
+	})
 	if err != nil {
 		if _, ok := err.(*vm.Trap); ok && res.DynInstrs >= budget {
-			return res.DynInstrs, nil // budget exhausted: report the cap
+			return res.DynInstrs, mix, nil // budget exhausted: report the cap
 		}
-		return 0, err
+		return 0, mix, err
 	}
-	return res.DynInstrs, nil
+	return res.DynInstrs, mix, nil
 }
 
 // Consolidate merges several profiles into one (Section II.B.e, "benchmark

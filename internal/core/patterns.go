@@ -68,10 +68,17 @@ type group struct {
 	store   tok
 	isFloat bool
 	nTokens int // tokens consumed, for coverage accounting
+	// synthStore marks store-less patterns (Table II's three-load row and
+	// long expression runs): the group closes with an accumulator store
+	// that the profile did not contain.
+	synthStore bool
 }
 
 // maxGroupLen bounds how many instruction tokens one statement absorbs.
-const maxGroupLen = 12
+// Real O0 blocks routinely carry 14+ instruction runs between stores
+// (crc32's table lookup is one), so the bound sits well above Table II's
+// largest listed pattern.
+const maxGroupLen = 24
 
 // translate emits C statements for one basic-block occurrence expected to
 // execute w times.
@@ -96,15 +103,23 @@ func (gen *generator) translate(n *sfgl.Node, w float64) []hlc.Stmt {
 
 	var out []hlc.Stmt
 	var leftoverI, leftoverF []isa.Opcode
+	var leftoverLoads int
 
 	// branchHeaderLen reports how many tokens starting at i form a branch
-	// condition — up to three loads (and interleaved constants) feeding a
-	// compare and a conditional branch, the generalized "load-cmp-br" of
-	// Table II. Zero means no branch pattern starts here.
+	// condition — a short run of loads, constants, and integer arithmetic
+	// feeding a compare and a conditional branch, the generalized
+	// "load-cmp-br" of Table II (`x & MASK == 0`-style conditions compile
+	// to load-const-arith-const-cmp-br at O0). Zero means no branch
+	// pattern starts here.
 	branchHeaderLen := func(i int) int {
 		j := i
-		for j-i < 4 && (kindAt(j) == kLoad || kindAt(j) == kConst) {
-			j++
+		for j-i < 6 {
+			switch kindAt(j) {
+			case kLoad, kConst, kArithI:
+				j++
+				continue
+			}
+			break
 		}
 		if kindAt(j) == kCmp && kindAt(j+1) == kBr {
 			return j + 2 - i
@@ -168,13 +183,23 @@ func (gen *generator) translate(n *sfgl.Node, w float64) []hlc.Stmt {
 				break scan
 			}
 		}
+		// A run that never reached a store still matches Table II's
+		// store-less rows (three-load and long expression runs feeding a
+		// value kept live across blocks): close it with a synthetic
+		// accumulator store so its loads and operations survive with
+		// their classes intact.
+		if g.nTokens == 0 && j > i && (len(g.loads) > 0 || len(g.ops) >= 2) {
+			g.store = tok{kind: kStore, op: isa.ST, mem: 0}
+			g.synthStore = true
+			g.nTokens = j - i
+		}
 		if g.nTokens > 0 {
 			out = append(out, gen.emitGroup(&g, w)...)
 			gen.consumedInstrs += w * float64(g.nTokens)
 			i = j
 			continue
 		}
-		// No store terminated the run: the scanned operations are
+		// No pattern claimed the run: the scanned operations are
 		// uncovered; queue them for compensation.
 		if j == i {
 			i++ // lone cmp or stray token
@@ -187,13 +212,13 @@ func (gen *generator) translate(n *sfgl.Node, w float64) []hlc.Stmt {
 			case kArithF, kUnaryF:
 				leftoverF = append(leftoverF, t.op)
 			case kLoad:
-				leftoverI = append(leftoverI, isa.ADD)
+				leftoverLoads++
 			}
 		}
 		i = j
 	}
 
-	out = append(out, gen.compensateInt(leftoverI, w)...)
+	out = append(out, gen.compensateInt(leftoverI, leftoverLoads, w)...)
 	out = append(out, gen.compensateFloat(leftoverF, w)...)
 	return out
 }
@@ -385,22 +410,38 @@ func (gen *generator) rhsConst(tk hlc.Token) hlc.Expr {
 }
 
 // compensateInt folds leftover integer operations (instructions no pattern
-// covered) into chained constant-operand statements — the paper's
-// "compensate for those instructions on a later occasion".
-func (gen *generator) compensateInt(ops []isa.Opcode, w float64) []hlc.Stmt {
+// covered) into chained statements — the paper's "compensate for those
+// instructions on a later occasion". Leftover loads keep their class: they
+// become stream reads rather than constant operands.
+func (gen *generator) compensateInt(ops []isa.Opcode, loads int, w float64) []hlc.Stmt {
 	var out []hlc.Stmt
-	for len(ops) > 0 {
+	for len(ops) > 0 || loads > 0 {
 		take := len(ops)
 		if take > 3 {
 			take = 3
 		}
 		cls := gen.anyUsedIntClass()
 		expr := hlc.Expr(gen.intStreamWalk(cls, 0))
+		nLoads := 1.0
 		for _, op := range ops[:take] {
-			tk, _ := opToken(op)
-			expr = &hlc.BinaryExpr{Op: tk, X: expr, Y: gen.rhsConst(tk)}
+			tk, constOnly := opToken(op)
+			var operand hlc.Expr
+			if !constOnly && loads > 0 {
+				operand = gen.intStreamWalk(cls, int64(loads))
+				loads--
+				nLoads++
+			} else {
+				operand = gen.rhsConst(tk)
+			}
+			expr = &hlc.BinaryExpr{Op: tk, X: expr, Y: operand}
 		}
-		gen.account(stmtFootprint{loads: 2, stores: 2, ialu: 2 + float64(take)}, w)
+		// Loads with no operation left to carry them chain on with adds.
+		for extra := 0; take == 0 && loads > 0 && extra < 3; extra++ {
+			expr = &hlc.BinaryExpr{Op: hlc.Plus, X: expr, Y: gen.intStreamWalk(cls, int64(loads))}
+			loads--
+			nLoads++
+		}
+		gen.account(stmtFootprint{loads: 1 + nLoads, stores: 2, ialu: 2 + float64(take)}, w)
 		out = append(out, &hlc.AssignStmt{
 			LHS: gen.intStreamWalk(cls, 1), Op: hlc.Assign, RHS: expr,
 		})

@@ -1,19 +1,23 @@
 // Package experiments regenerates every table and figure of the paper's
 // evaluation (Section V): each ExperimentX function runs the corresponding
 // measurement over the workload suite and its synthetic clones and returns
-// printable rows. cmd/experiments renders them; bench_test.go wraps each in
-// a benchmark; EXPERIMENTS.md records paper-vs-measured values.
+// printable rows. `cmd/synth experiments` renders them; bench_test.go wraps
+// the suite in benchmarks; EXPERIMENTS.md records paper-vs-measured values.
+//
+// All measurement plumbing routes through internal/pipeline: a Runner
+// submits declarative jobs (workload × ISA × level points) to a shared
+// pipeline whose artifact cache computes each compile, profile, and clone
+// once across every experiment, and whose worker pool fans the jobs out.
+// The package-level ExperimentX functions run on a process-wide default
+// Runner seeded with CloneSeed.
 package experiments
 
 import (
-	"fmt"
+	"context"
 	"sync"
 
-	"repro/internal/compiler"
-	"repro/internal/core"
-	"repro/internal/hlc"
 	"repro/internal/isa"
-	"repro/internal/profile"
+	"repro/internal/pipeline"
 	"repro/internal/vm"
 	"repro/internal/workloads"
 )
@@ -45,21 +49,31 @@ func Quick() []*workloads.Workload {
 	return out
 }
 
-// compileWorkload compiles a workload source for a target/level.
-func compileWorkload(w *workloads.Workload, target *isa.Desc, level compiler.OptLevel) (*isa.Program, error) {
-	prog, err := hlc.Parse(w.Source)
-	if err != nil {
-		return nil, fmt.Errorf("%s: %w", w.Name, err)
-	}
-	cp, err := hlc.Check(prog)
-	if err != nil {
-		return nil, fmt.Errorf("%s: %w", w.Name, err)
-	}
-	out, err := compiler.Compile(cp, target, level)
-	if err != nil {
-		return nil, fmt.Errorf("%s: %w", w.Name, err)
-	}
-	return out, nil
+// Runner executes the paper's experiments through a pipeline. Every
+// measurement is a job submission: the pipeline owns compilation,
+// profiling, synthesis, caching, and fan-out, and the Runner only
+// aggregates results (in suite order, so output is deterministic for any
+// worker count).
+type Runner struct {
+	P *pipeline.Pipeline
+}
+
+// NewRunner wraps a pipeline in a Runner.
+func NewRunner(p *pipeline.Pipeline) *Runner { return &Runner{P: p} }
+
+var (
+	defaultOnce   sync.Once
+	defaultRunner *Runner
+)
+
+// DefaultRunner returns the process-wide Runner used by the package-level
+// experiment functions: CloneSeed, paper-default profiling, GOMAXPROCS
+// workers, and one shared artifact cache for the life of the process.
+func DefaultRunner() *Runner {
+	defaultOnce.Do(func() {
+		defaultRunner = NewRunner(pipeline.New(pipeline.Options{Seed: CloneSeed}))
+	})
+	return defaultRunner
 }
 
 // runProgram executes a compiled program with an optional setup and hook.
@@ -73,73 +87,5 @@ func runProgram(prog *isa.Program, setup func(*vm.VM) error, hook vm.Hook) (vm.R
 	return m.Run(vm.Config{Hook: hook, MaxInstrs: 200_000_000})
 }
 
-// cloneInfo caches one workload's profile, clone, and synthesis report.
-type cloneInfo struct {
-	prof   *profile.Profile
-	clone  *hlc.Program
-	cloneC *hlc.CheckedProgram
-	report core.Report
-	source string
-}
-
-var (
-	cloneMu    sync.Mutex
-	cloneCache = map[string]*cloneInfo{}
-)
-
-// cloneOf profiles the workload at -O0 (as the paper prescribes) and
-// synthesizes its clone, caching the result for the whole process.
-func cloneOf(w *workloads.Workload) (*cloneInfo, error) {
-	cloneMu.Lock()
-	defer cloneMu.Unlock()
-	if ci, ok := cloneCache[w.Name]; ok {
-		return ci, nil
-	}
-	prog, err := compileWorkload(w, isa.AMD64, compiler.O0)
-	if err != nil {
-		return nil, err
-	}
-	prof, err := profile.Collect(prog, w.Setup, w.Name, profile.Options{})
-	if err != nil {
-		return nil, err
-	}
-	clone, rep, err := core.Synthesize(prof, core.Config{Seed: CloneSeed})
-	if err != nil {
-		return nil, fmt.Errorf("%s: %w", w.Name, err)
-	}
-	cp, err := hlc.Check(clone)
-	if err != nil {
-		return nil, fmt.Errorf("%s clone: %w", w.Name, err)
-	}
-	ci := &cloneInfo{
-		prof:   prof,
-		clone:  clone,
-		cloneC: cp,
-		report: rep,
-		source: hlc.Print(clone),
-	}
-	cloneCache[w.Name] = ci
-	return ci, nil
-}
-
-// compileClone compiles a cached clone for a target/level.
-func compileClone(ci *cloneInfo, target *isa.Desc, level compiler.OptLevel) (*isa.Program, error) {
-	return compiler.Compile(ci.cloneC, target, level)
-}
-
-// pairPrograms compiles both the original and the clone for target/level.
-func pairPrograms(w *workloads.Workload, target *isa.Desc, level compiler.OptLevel) (orig, syn *isa.Program, ci *cloneInfo, err error) {
-	ci, err = cloneOf(w)
-	if err != nil {
-		return nil, nil, nil, err
-	}
-	orig, err = compileWorkload(w, target, level)
-	if err != nil {
-		return nil, nil, nil, err
-	}
-	syn, err = compileClone(ci, target, level)
-	if err != nil {
-		return nil, nil, nil, err
-	}
-	return orig, syn, ci, nil
-}
+// background is the context for the package-level wrappers.
+func background() context.Context { return context.Background() }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -8,6 +9,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/compiler"
 	"repro/internal/isa"
+	"repro/internal/pipeline"
 	"repro/internal/stats"
 	"repro/internal/vm"
 	"repro/internal/workloads"
@@ -31,31 +33,41 @@ type Fig4Result struct {
 
 // Fig4 measures original-vs-synthetic dynamic instruction counts.
 func Fig4(suite []*workloads.Workload) (*Fig4Result, error) {
-	res := &Fig4Result{}
-	var ratios []float64
-	for _, w := range suite {
-		ci, err := cloneOf(w)
+	return DefaultRunner().Fig4(background(), suite)
+}
+
+// Fig4 measures original-vs-synthetic dynamic instruction counts.
+func (r *Runner) Fig4(ctx context.Context, suite []*workloads.Workload) (*Fig4Result, error) {
+	rows, err := pipeline.Map(ctx, r.P, suite, func(ctx context.Context, w *workloads.Workload) (Fig4Row, error) {
+		cl, err := r.P.Synthesize(ctx, w)
 		if err != nil {
-			return nil, err
+			return Fig4Row{}, err
 		}
-		syn, err := compileClone(ci, isa.AMD64, compiler.O0)
+		syn, err := r.P.CompileClone(ctx, w, isa.AMD64, compiler.O0)
 		if err != nil {
-			return nil, err
+			return Fig4Row{}, err
 		}
-		r, err := runProgram(syn, nil, nil)
+		res, err := runProgram(syn, nil, nil)
 		if err != nil {
-			return nil, fmt.Errorf("%s clone: %w", w.Name, err)
+			return Fig4Row{}, fmt.Errorf("%s clone: %w", w.Name, err)
 		}
 		row := Fig4Row{
 			Workload: w.Name,
-			OrigDyn:  ci.prof.TotalDyn,
-			SynDyn:   r.DynInstrs,
+			OrigDyn:  cl.Profile.TotalDyn,
+			SynDyn:   res.DynInstrs,
 		}
-		if r.DynInstrs > 0 {
-			row.Reduction = float64(ci.prof.TotalDyn) / float64(r.DynInstrs)
+		if res.DynInstrs > 0 {
+			row.Reduction = float64(cl.Profile.TotalDyn) / float64(res.DynInstrs)
 		}
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig4Result{Rows: rows}
+	var ratios []float64
+	for _, row := range rows {
 		ratios = append(ratios, row.Reduction)
-		res.Rows = append(res.Rows, row)
 	}
 	res.AvgReduction = stats.Mean(ratios)
 	return res, nil
@@ -83,35 +95,54 @@ type Fig5Result struct {
 // Fig5 measures how the dynamic instruction count responds to the
 // optimization level for originals and clones.
 func Fig5(suite []*workloads.Workload) (*Fig5Result, error) {
-	res := &Fig5Result{}
-	perLevelOrig := make([][]float64, len(compiler.Levels))
-	perLevelSyn := make([][]float64, len(compiler.Levels))
-	for _, w := range suite {
+	return DefaultRunner().Fig5(background(), suite)
+}
+
+// fig5Row is one workload's per-level dyn counts, normalized to its O0.
+type fig5Row struct {
+	orig, syn []float64
+}
+
+// Fig5 measures how the dynamic instruction count responds to the
+// optimization level for originals and clones.
+func (r *Runner) Fig5(ctx context.Context, suite []*workloads.Workload) (*Fig5Result, error) {
+	rows, err := pipeline.Map(ctx, r.P, suite, func(ctx context.Context, w *workloads.Workload) (fig5Row, error) {
+		var row fig5Row
 		var o0Orig, o0Syn float64
 		for li, level := range compiler.Levels {
-			orig, syn, _, err := pairPrograms(w, isa.AMD64, level)
+			pair, err := r.P.PairAt(ctx, w, isa.AMD64, level)
 			if err != nil {
-				return nil, err
+				return row, err
 			}
-			ro, err := runProgram(orig, w.Setup, nil)
+			ro, err := runProgram(pair.Orig, w.Setup, nil)
 			if err != nil {
-				return nil, fmt.Errorf("%s %v: %w", w.Name, level, err)
+				return row, fmt.Errorf("%s %v: %w", w.Name, level, err)
 			}
-			rs, err := runProgram(syn, nil, nil)
+			rs, err := runProgram(pair.Syn, nil, nil)
 			if err != nil {
-				return nil, fmt.Errorf("%s clone %v: %w", w.Name, level, err)
+				return row, fmt.Errorf("%s clone %v: %w", w.Name, level, err)
 			}
 			if li == 0 {
 				o0Orig, o0Syn = float64(ro.DynInstrs), float64(rs.DynInstrs)
 			}
-			perLevelOrig[li] = append(perLevelOrig[li], float64(ro.DynInstrs)/o0Orig)
-			perLevelSyn[li] = append(perLevelSyn[li], float64(rs.DynInstrs)/o0Syn)
+			row.orig = append(row.orig, float64(ro.DynInstrs)/o0Orig)
+			row.syn = append(row.syn, float64(rs.DynInstrs)/o0Syn)
 		}
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	res := &Fig5Result{}
 	for li, level := range compiler.Levels {
+		var po, ps []float64
+		for _, row := range rows {
+			po = append(po, row.orig[li])
+			ps = append(ps, row.syn[li])
+		}
 		res.Levels = append(res.Levels, level.String())
-		res.Orig = append(res.Orig, stats.Mean(perLevelOrig[li]))
-		res.Syn = append(res.Syn, stats.Mean(perLevelSyn[li]))
+		res.Orig = append(res.Orig, stats.Mean(po))
+		res.Syn = append(res.Syn, stats.Mean(ps))
 	}
 	return res, nil
 }
@@ -164,26 +195,41 @@ func measureMix(prog *isa.Program, setup func(*vm.VM) error) ([4]float64, error)
 // Fig6 measures the instruction mix per benchmark family at one level
 // (the paper shows O0 in Fig. 6(a) and O2 in Fig. 6(b)).
 func Fig6(suite []*workloads.Workload, level compiler.OptLevel) (*Fig6Result, error) {
+	return DefaultRunner().Fig6(background(), suite, level)
+}
+
+// Fig6 measures the instruction mix per benchmark family at one level.
+func (r *Runner) Fig6(ctx context.Context, suite []*workloads.Workload, level compiler.OptLevel) (*Fig6Result, error) {
+	type mixPair struct {
+		orig, syn [4]float64
+	}
+	rows, err := pipeline.Map(ctx, r.P, suite, func(ctx context.Context, w *workloads.Workload) (mixPair, error) {
+		pair, err := r.P.PairAt(ctx, w, isa.AMD64, level)
+		if err != nil {
+			return mixPair{}, err
+		}
+		om, err := measureMix(pair.Orig, w.Setup)
+		if err != nil {
+			return mixPair{}, fmt.Errorf("%s: %w", w.Name, err)
+		}
+		sm, err := measureMix(pair.Syn, nil)
+		if err != nil {
+			return mixPair{}, fmt.Errorf("%s clone: %w", w.Name, err)
+		}
+		return mixPair{orig: om, syn: sm}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	res := &Fig6Result{Level: level.String()}
 	perBench := map[string][]*MixRow{}
 	var order []string
-	for _, w := range suite {
-		orig, syn, _, err := pairPrograms(w, isa.AMD64, level)
-		if err != nil {
-			return nil, err
-		}
-		om, err := measureMix(orig, w.Setup)
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", w.Name, err)
-		}
-		sm, err := measureMix(syn, nil)
-		if err != nil {
-			return nil, fmt.Errorf("%s clone: %w", w.Name, err)
-		}
+	for i, w := range suite {
 		if _, ok := perBench[w.Bench]; !ok {
 			order = append(order, w.Bench)
 		}
-		perBench[w.Bench] = append(perBench[w.Bench], &MixRow{Name: w.Name, Orig: om, Syn: sm})
+		perBench[w.Bench] = append(perBench[w.Bench],
+			&MixRow{Name: w.Name, Orig: rows[i].orig, Syn: rows[i].syn})
 	}
 	var avg MixRow
 	avg.Name = "average"
@@ -261,24 +307,32 @@ func measureCacheSweep(prog *isa.Program, setup func(*vm.VM) error) ([]float64, 
 // FigCache measures data-cache hit rates for 1KB..32KB caches, original vs
 // synthetic, at the given level (Fig. 7 uses O0, Fig. 8 uses O2).
 func FigCache(suite []*workloads.Workload, level compiler.OptLevel) (*FigCacheResult, error) {
-	res := &FigCacheResult{Level: level.String()}
+	return DefaultRunner().FigCache(background(), suite, level)
+}
+
+// FigCache measures data-cache hit rates for 1KB..32KB caches.
+func (r *Runner) FigCache(ctx context.Context, suite []*workloads.Workload, level compiler.OptLevel) (*FigCacheResult, error) {
+	rows, err := pipeline.Map(ctx, r.P, suite, func(ctx context.Context, w *workloads.Workload) (CacheRow, error) {
+		pair, err := r.P.PairAt(ctx, w, isa.AMD64, level)
+		if err != nil {
+			return CacheRow{}, err
+		}
+		oh, err := measureCacheSweep(pair.Orig, w.Setup)
+		if err != nil {
+			return CacheRow{}, fmt.Errorf("%s: %w", w.Name, err)
+		}
+		sh, err := measureCacheSweep(pair.Syn, nil)
+		if err != nil {
+			return CacheRow{}, fmt.Errorf("%s clone: %w", w.Name, err)
+		}
+		return CacheRow{Name: w.Name, Orig: oh, Syn: sh}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &FigCacheResult{Level: level.String(), Rows: rows}
 	for _, cfg := range cache.SweepConfigs() {
 		res.Sizes = append(res.Sizes, cfg.Name)
-	}
-	for _, w := range suite {
-		orig, syn, _, err := pairPrograms(w, isa.AMD64, level)
-		if err != nil {
-			return nil, err
-		}
-		oh, err := measureCacheSweep(orig, w.Setup)
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", w.Name, err)
-		}
-		sh, err := measureCacheSweep(syn, nil)
-		if err != nil {
-			return nil, fmt.Errorf("%s clone: %w", w.Name, err)
-		}
-		res.Rows = append(res.Rows, CacheRow{Name: w.Name, Orig: oh, Syn: sh})
 	}
 	return res, nil
 }
@@ -335,21 +389,25 @@ func measureBranchAcc(prog *isa.Program, setup func(*vm.VM) error) (float64, err
 // Fig9 measures hybrid-predictor accuracy for originals and clones at O0
 // and O2.
 func Fig9(suite []*workloads.Workload) (*Fig9Result, error) {
-	res := &Fig9Result{}
-	for _, w := range suite {
+	return DefaultRunner().Fig9(background(), suite)
+}
+
+// Fig9 measures hybrid-predictor accuracy for originals and clones.
+func (r *Runner) Fig9(ctx context.Context, suite []*workloads.Workload) (*Fig9Result, error) {
+	rows, err := pipeline.Map(ctx, r.P, suite, func(ctx context.Context, w *workloads.Workload) (BranchRow, error) {
 		row := BranchRow{Name: w.Name}
 		for _, level := range []compiler.OptLevel{compiler.O0, compiler.O2} {
-			orig, syn, _, err := pairPrograms(w, isa.AMD64, level)
+			pair, err := r.P.PairAt(ctx, w, isa.AMD64, level)
 			if err != nil {
-				return nil, err
+				return row, err
 			}
-			oa, err := measureBranchAcc(orig, w.Setup)
+			oa, err := measureBranchAcc(pair.Orig, w.Setup)
 			if err != nil {
-				return nil, fmt.Errorf("%s: %w", w.Name, err)
+				return row, fmt.Errorf("%s: %w", w.Name, err)
 			}
-			sa, err := measureBranchAcc(syn, nil)
+			sa, err := measureBranchAcc(pair.Syn, nil)
 			if err != nil {
-				return nil, fmt.Errorf("%s clone: %w", w.Name, err)
+				return row, fmt.Errorf("%s clone: %w", w.Name, err)
 			}
 			if level == compiler.O0 {
 				row.OrigO0, row.SynO0 = oa, sa
@@ -357,9 +415,12 @@ func Fig9(suite []*workloads.Workload) (*Fig9Result, error) {
 				row.OrigO2, row.SynO2 = oa, sa
 			}
 		}
-		res.Rows = append(res.Rows, row)
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &Fig9Result{Rows: rows}, nil
 }
 
 // Print renders the figure.

@@ -1,12 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
 	"repro/internal/cache"
 	"repro/internal/compiler"
 	"repro/internal/cpu"
+	"repro/internal/pipeline"
 	"repro/internal/plagiarism"
 	"repro/internal/sfgl"
 	"repro/internal/stats"
@@ -37,30 +39,40 @@ type Fig10Result struct {
 // Fig10 runs detailed simulations of a 2-wide out-of-order processor while
 // varying the L1 data cache (the PTLSim experiment).
 func Fig10(suite []*workloads.Workload) (*Fig10Result, error) {
-	res := &Fig10Result{}
-	var allOrig, allSyn []float64
-	for _, w := range suite {
-		orig, syn, _, err := pairPrograms(w, cpu.Simulated2Wide(8).ISA, compiler.O2)
+	return DefaultRunner().Fig10(background(), suite)
+}
+
+// Fig10 runs detailed simulations of a 2-wide out-of-order processor.
+func (r *Runner) Fig10(ctx context.Context, suite []*workloads.Workload) (*Fig10Result, error) {
+	rows, err := pipeline.Map(ctx, r.P, suite, func(ctx context.Context, w *workloads.Workload) (CPIRow, error) {
+		pair, err := r.P.PairAt(ctx, w, cpu.Simulated2Wide(8).ISA, compiler.O2)
 		if err != nil {
-			return nil, err
+			return CPIRow{}, err
 		}
 		row := CPIRow{Name: w.Name}
 		for _, kb := range Fig10L1Sizes {
 			cfg := cpu.Simulated2Wide(kb)
-			ro, err := cpu.Simulate(orig, w.Setup, cfg, 0)
+			ro, err := cpu.Simulate(pair.Orig, w.Setup, cfg, 0)
 			if err != nil {
-				return nil, fmt.Errorf("%s: %w", w.Name, err)
+				return CPIRow{}, fmt.Errorf("%s: %w", w.Name, err)
 			}
-			rs, err := cpu.Simulate(syn, nil, cfg, 0)
+			rs, err := cpu.Simulate(pair.Syn, nil, cfg, 0)
 			if err != nil {
-				return nil, fmt.Errorf("%s clone: %w", w.Name, err)
+				return CPIRow{}, fmt.Errorf("%s clone: %w", w.Name, err)
 			}
 			row.Orig = append(row.Orig, ro.CPI)
 			row.Syn = append(row.Syn, rs.CPI)
-			allOrig = append(allOrig, ro.CPI)
-			allSyn = append(allSyn, rs.CPI)
 		}
-		res.Rows = append(res.Rows, row)
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig10Result{Rows: rows}
+	var allOrig, allSyn []float64
+	for _, row := range rows {
+		allOrig = append(allOrig, row.Orig...)
+		allSyn = append(allSyn, row.Syn...)
 	}
 	res.Correlation = stats.Pearson(allOrig, allSyn)
 	return res, nil
@@ -99,40 +111,68 @@ type Fig11Result struct {
 // machines and four optimization levels, for the original suite and the
 // synthetic clones.
 func Fig11(suite []*workloads.Workload) (*Fig11Result, error) {
+	return DefaultRunner().Fig11(background(), suite)
+}
+
+// fig11Job is one cell of the machine × level × workload cross product.
+type fig11Job struct {
+	machine  int
+	level    int
+	workload *workloads.Workload
+}
+
+// Fig11 measures normalized execution time across machines and levels by
+// fanning the full cross product out as one job list.
+func (r *Runner) Fig11(ctx context.Context, suite []*workloads.Workload) (*Fig11Result, error) {
+	var jobs []fig11Job
+	for mi := range cpu.Machines {
+		for li := range compiler.Levels {
+			for _, w := range suite {
+				jobs = append(jobs, fig11Job{machine: mi, level: li, workload: w})
+			}
+		}
+	}
+	type cell struct{ orig, syn float64 }
+	cells, err := pipeline.Map(ctx, r.P, jobs, func(ctx context.Context, j fig11Job) (cell, error) {
+		machine := cpu.Machines[j.machine]
+		pair, err := r.P.PairAt(ctx, j.workload, machine.ISA, compiler.Levels[j.level])
+		if err != nil {
+			return cell{}, err
+		}
+		ro, err := cpu.Simulate(pair.Orig, j.workload.Setup, machine, 0)
+		if err != nil {
+			return cell{}, fmt.Errorf("%s on %s: %w", j.workload.Name, machine.Name, err)
+		}
+		rs, err := cpu.Simulate(pair.Syn, nil, machine, 0)
+		if err != nil {
+			return cell{}, fmt.Errorf("%s clone on %s: %w", j.workload.Name, machine.Name, err)
+		}
+		return cell{orig: ro.TimeSec, syn: rs.TimeSec}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
 	res := &Fig11Result{}
 	for _, level := range compiler.Levels {
 		res.Levels = append(res.Levels, level.String())
 	}
-	var flatOrig, flatSyn []float64
 	res.Orig = make([][]float64, len(cpu.Machines))
 	res.Syn = make([][]float64, len(cpu.Machines))
 	for mi, machine := range cpu.Machines {
 		res.Machines = append(res.Machines, machine.Name)
 		res.Orig[mi] = make([]float64, len(compiler.Levels))
 		res.Syn[mi] = make([]float64, len(compiler.Levels))
-		for li, level := range compiler.Levels {
-			var origTime, synTime float64
-			for _, w := range suite {
-				orig, syn, _, err := pairPrograms(w, machine.ISA, level)
-				if err != nil {
-					return nil, err
-				}
-				ro, err := cpu.Simulate(orig, w.Setup, machine, 0)
-				if err != nil {
-					return nil, fmt.Errorf("%s on %s: %w", w.Name, machine.Name, err)
-				}
-				rs, err := cpu.Simulate(syn, nil, machine, 0)
-				if err != nil {
-					return nil, fmt.Errorf("%s clone on %s: %w", w.Name, machine.Name, err)
-				}
-				origTime += ro.TimeSec
-				synTime += rs.TimeSec
-			}
-			res.Orig[mi][li] = origTime
-			res.Syn[mi][li] = synTime
-		}
 	}
+	// Aggregate in job order so the floating-point sums are identical for
+	// any worker count.
+	for i, j := range jobs {
+		res.Orig[j.machine][j.level] += cells[i].orig
+		res.Syn[j.machine][j.level] += cells[i].syn
+	}
+
 	// Normalize both series to their own P4-3.0GHz -O0 value.
+	var flatOrig, flatSyn []float64
 	baseO := res.Orig[0][0]
 	baseS := res.Syn[0][0]
 	for mi := range res.Orig {
@@ -253,22 +293,31 @@ type TableIIResult struct {
 
 // TableII reports the pattern-recognition coverage of every clone.
 func TableII(suite []*workloads.Workload) (*TableIIResult, error) {
-	res := &TableIIResult{Min: 1}
-	var sum float64
-	for _, w := range suite {
-		ci, err := cloneOf(w)
+	return DefaultRunner().TableII(background(), suite)
+}
+
+// TableII reports the pattern-recognition coverage of every clone.
+func (r *Runner) TableII(ctx context.Context, suite []*workloads.Workload) (*TableIIResult, error) {
+	rows, err := pipeline.Map(ctx, r.P, suite, func(ctx context.Context, w *workloads.Workload) (TableIIRow, error) {
+		cl, err := r.P.Synthesize(ctx, w)
 		if err != nil {
-			return nil, err
+			return TableIIRow{}, err
 		}
-		cov := ci.report.Coverage
-		res.Rows = append(res.Rows, TableIIRow{Workload: w.Name, Coverage: cov})
-		if cov < res.Min {
-			res.Min = cov
-		}
-		sum += cov
+		return TableIIRow{Workload: w.Name, Coverage: cl.Report.Coverage}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	if len(res.Rows) > 0 {
-		res.Avg = sum / float64(len(res.Rows))
+	res := &TableIIResult{Rows: rows, Min: 1}
+	var sum float64
+	for _, row := range rows {
+		if row.Coverage < res.Min {
+			res.Min = row.Coverage
+		}
+		sum += row.Coverage
+	}
+	if len(rows) > 0 {
+		res.Avg = sum / float64(len(rows))
 	}
 	return res, nil
 }
@@ -311,23 +360,32 @@ type ObfuscationResult struct {
 // Obfuscation fingerprints each workload against its synthetic clone with
 // the Moss algorithm (winnowing).
 func Obfuscation(suite []*workloads.Workload) (*ObfuscationResult, error) {
-	res := &ObfuscationResult{}
+	return DefaultRunner().Obfuscation(background(), suite)
+}
+
+// Obfuscation fingerprints each workload against its synthetic clone.
+func (r *Runner) Obfuscation(ctx context.Context, suite []*workloads.Workload) (*ObfuscationResult, error) {
 	opts := plagiarism.DefaultOptions()
-	for _, w := range suite {
-		ci, err := cloneOf(w)
+	rows, err := pipeline.Map(ctx, r.P, suite, func(ctx context.Context, w *workloads.Workload) (ObfRow, error) {
+		cl, err := r.P.Synthesize(ctx, w)
 		if err != nil {
-			return nil, err
+			return ObfRow{}, err
 		}
-		sim, err := plagiarism.CompareSources(w.Source, ci.source, opts)
+		sim, err := plagiarism.CompareSources(w.Source, cl.Source, opts)
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", w.Name, err)
+			return ObfRow{}, fmt.Errorf("%s: %w", w.Name, err)
 		}
 		self, err := plagiarism.CompareSources(w.Source, w.Source, opts)
 		if err != nil {
-			return nil, err
+			return ObfRow{}, err
 		}
-		row := ObfRow{Workload: w.Name, Similarity: sim.Score(), SelfCheck: self.Score()}
-		res.Rows = append(res.Rows, row)
+		return ObfRow{Workload: w.Name, Similarity: sim.Score(), SelfCheck: self.Score()}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &ObfuscationResult{Rows: rows}
+	for _, row := range rows {
 		if row.Similarity > res.Max {
 			res.Max = row.Similarity
 		}

@@ -1,0 +1,109 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/cache"
+	"repro/internal/compiler"
+)
+
+// Key identifies one artifact in the content-addressed cache. Two jobs that
+// agree on every field share the artifact: a compile of crc32/small for
+// amd64 -O2 is the same whether Fig. 6, Fig. 8, or Fig. 11 asked for it.
+type Key struct {
+	Stage    Stage
+	Workload string
+	ISA      string
+	Level    compiler.OptLevel
+	Seed     int64        // clone-synthesis seed (clone artifacts only)
+	Clone    bool         // artifact derives from the synthetic clone
+	Cache    cache.Config // profiling cache configuration (profile-derived artifacts)
+}
+
+// Digest returns the printable content address: a 64-bit FNV-1a hash over
+// the canonical encoding of every field, for logs and diagnostics.
+func (k Key) Digest() string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%s|%s|%d|%d|%t|%s|%d|%d|%d",
+		k.Stage, k.Workload, k.ISA, k.Level, k.Seed, k.Clone,
+		k.Cache.Name, k.Cache.Size, k.Cache.LineSize, k.Cache.Assoc)
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// CacheStats reports artifact-cache effectiveness.
+type CacheStats struct {
+	Hits   uint64 // requests satisfied by (or coalesced onto) an existing entry
+	Misses uint64 // requests that computed the artifact
+}
+
+// entry is one in-flight or completed artifact. Waiters block on ready, so
+// concurrent requests for the same key coalesce onto a single computation.
+type entry struct {
+	ready chan struct{}
+	val   any
+	err   error
+}
+
+// artifactCache is the in-memory content-addressed store behind a Pipeline.
+// The map is keyed by the full Key struct — Digest is the printable content
+// address, but using it as the map key would turn a 64-bit hash collision
+// into a silently wrong artifact.
+type artifactCache struct {
+	mu     sync.Mutex
+	m      map[Key]*entry
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+func newArtifactCache() *artifactCache {
+	return &artifactCache{m: make(map[Key]*entry)}
+}
+
+func (c *artifactCache) stats() CacheStats {
+	return CacheStats{Hits: c.hits.Load(), Misses: c.misses.Load()}
+}
+
+// do returns the artifact for k, computing it with fn at most once across
+// all concurrent callers. Failed computations are not cached, and waiters
+// that coalesced onto a computation whose owner got canceled retry under
+// their own context instead of inheriting the cancellation — the pipeline
+// is shared, and one run's cancel must not fail an unrelated run's jobs.
+func (c *artifactCache) do(ctx context.Context, k Key, fn func() (any, error)) (any, error) {
+	for {
+		c.mu.Lock()
+		if e, ok := c.m[k]; ok {
+			c.mu.Unlock()
+			c.hits.Add(1)
+			select {
+			case <-e.ready:
+				if e.err != nil && (errors.Is(e.err, context.Canceled) || errors.Is(e.err, context.DeadlineExceeded)) {
+					if err := ctx.Err(); err != nil {
+						return nil, err
+					}
+					continue // owner canceled, we were not: retry
+				}
+				return e.val, e.err
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		e := &entry{ready: make(chan struct{})}
+		c.m[k] = e
+		c.mu.Unlock()
+		c.misses.Add(1)
+
+		e.val, e.err = fn()
+		if e.err != nil {
+			c.mu.Lock()
+			delete(c.m, k)
+			c.mu.Unlock()
+		}
+		close(e.ready)
+		return e.val, e.err
+	}
+}

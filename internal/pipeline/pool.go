@@ -1,0 +1,80 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// Map fans fn out over jobs on the pipeline's bounded worker pool and
+// returns the results in job order, which keeps aggregation deterministic
+// regardless of worker count or completion order. The first failing job
+// cancels the context seen by the others; jobs not yet started are skipped.
+// The returned error is the lowest-indexed failure among the jobs that ran
+// (cancellation noise from siblings is filtered out).
+func Map[J, R any](ctx context.Context, p *Pipeline, jobs []J, fn func(context.Context, J) (R, error)) ([]R, error) {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	workers := p.Workers()
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	results := make([]R, len(jobs))
+	errs := make([]error, len(jobs))
+	next := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				if err := ctx.Err(); err != nil {
+					errs[i] = err
+					continue
+				}
+				r, err := fn(ctx, jobs[i])
+				if err != nil {
+					errs[i] = err
+					cancel()
+					continue
+				}
+				results[i] = r
+			}
+		}()
+	}
+	for i := range jobs {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+
+	for _, err := range errs {
+		if err != nil && !errors.Is(err, context.Canceled) {
+			return nil, err
+		}
+	}
+	// Every failure was a cancellation: surface the caller's own
+	// cancellation if any, otherwise the first one observed.
+	if err := context.Cause(ctx); err != nil && !errors.Is(err, context.Canceled) {
+		return nil, err
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// ForEach is Map for jobs that produce no result.
+func ForEach[J any](ctx context.Context, p *Pipeline, jobs []J, fn func(context.Context, J) error) error {
+	_, err := Map(ctx, p, jobs, func(ctx context.Context, j J) (struct{}, error) {
+		return struct{}{}, fn(ctx, j)
+	})
+	return err
+}
