@@ -1,17 +1,20 @@
 // Command synth is the framework's command-line front end: it profiles
-// workloads, synthesizes benchmark clones, and regenerates the paper's
-// evaluation, all through the internal/pipeline orchestration layer.
+// workloads, synthesizes benchmark clones, regenerates the paper's
+// evaluation, consolidates profiles, and serves the whole flow over HTTP,
+// all through the internal/pipeline orchestration layer.
 //
 // Usage:
 //
-//	synth profile -workload NAME [-isa amd64] [-O 0] [-workers N]
-//	synth synthesize -workload NAME [-seed N] [-report] [-validate]
-//	synth experiments [-suite tiny|quick|full] [-only LIST] [-workers N] [-seed N]
+//	synth profile -workload NAME [-isa amd64] [-O 0] [-workers N] [-store DIR]
+//	synth synthesize {-workload NAME | -from PROFILE.json} [-seed N] [-report] [-validate]
+//	synth consolidate [-name NAME] [-synthesize] WORKLOAD-OR-PROFILE.json...
+//	synth experiments [-suite tiny|quick|full] [-only LIST] [-stats] [-store DIR]
+//	synth serve [-addr HOST:PORT] [-store DIR]
 //	synth workloads
 //
 // `synth experiments` renders the same rows as the library API in
 // internal/experiments (it calls the same Runner), so the CLI and `go
-// test` agree by construction.
+// test` agree by construction. See docs/cli.md for the full reference.
 package main
 
 import (
@@ -25,9 +28,12 @@ import (
 	"strings"
 
 	"repro/internal/compiler"
+	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/isa"
 	"repro/internal/pipeline"
+	"repro/internal/profile"
+	"repro/internal/store"
 	"repro/internal/workloads"
 )
 
@@ -39,10 +45,11 @@ func main() {
 
 // commonFlags are shared by every subcommand.
 type commonFlags struct {
-	workers int
-	seed    int64
-	isaName string
-	level   int
+	workers  int
+	seed     int64
+	isaName  string
+	level    int
+	storeDir string
 }
 
 func addCommon(fs *flag.FlagSet, c *commonFlags) {
@@ -50,6 +57,7 @@ func addCommon(fs *flag.FlagSet, c *commonFlags) {
 	fs.Int64Var(&c.seed, "seed", experiments.CloneSeed, "clone synthesis seed")
 	fs.StringVar(&c.isaName, "isa", isa.AMD64.Name, "profiling target ISA (x86v, amd64v, ia64v)")
 	fs.IntVar(&c.level, "O", 0, "profiling optimization level (0-3)")
+	fs.StringVar(&c.storeDir, "store", "", "persistent artifact store directory (empty = memory-only)")
 }
 
 func (c *commonFlags) pipeline() (*pipeline.Pipeline, error) {
@@ -60,12 +68,37 @@ func (c *commonFlags) pipeline() (*pipeline.Pipeline, error) {
 	if c.level < 0 || c.level >= len(compiler.Levels) {
 		return nil, fmt.Errorf("optimization level -O%d out of range 0-%d", c.level, len(compiler.Levels)-1)
 	}
+	var st *store.Store
+	if c.storeDir != "" {
+		var err error
+		if st, err = store.Open(c.storeDir); err != nil {
+			return nil, err
+		}
+	}
 	return pipeline.New(pipeline.Options{
 		Workers:      c.workers,
 		Seed:         c.seed,
 		ProfileISA:   target,
 		ProfileLevel: compiler.Levels[c.level],
+		Store:        st,
 	}), nil
+}
+
+// printStats renders the artifact-cache statistics line. The format is
+// stable: CI greps the per-stage computed counts to assert that a
+// warm-store run redoes no compile or profile work.
+func printStats(w io.Writer, p *pipeline.Pipeline) {
+	cs := p.CacheStats()
+	total := cs.Hits + cs.Misses + cs.DiskHits
+	rate := 0.0
+	if total > 0 {
+		rate = float64(cs.Hits+cs.DiskHits) / float64(total)
+	}
+	fmt.Fprintf(w, "artifact cache: %d hits, %d disk hits, %d misses (%.1f%% hit rate), %d disk errors, %d workers; computed parse=%d check=%d compile=%d profile=%d synthesize=%d validate=%d\n",
+		cs.Hits, cs.DiskHits, cs.Misses, rate*100, cs.DiskErrors, p.Workers(),
+		cs.ComputedFor(pipeline.StageParse), cs.ComputedFor(pipeline.StageCheck),
+		cs.ComputedFor(pipeline.StageCompile), cs.ComputedFor(pipeline.StageProfile),
+		cs.ComputedFor(pipeline.StageSynthesize), cs.ComputedFor(pipeline.StageValidate))
 }
 
 func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
@@ -79,8 +112,12 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		err = cmdProfile(ctx, args[1:], stdout, stderr)
 	case "synthesize":
 		err = cmdSynthesize(ctx, args[1:], stdout, stderr)
+	case "consolidate":
+		err = cmdConsolidate(ctx, args[1:], stdout, stderr)
 	case "experiments":
 		err = cmdExperiments(ctx, args[1:], stdout, stderr)
+	case "serve":
+		err = cmdServe(ctx, args[1:], stdout, stderr)
 	case "workloads":
 		err = cmdWorkloads(args[1:], stdout)
 	case "help", "-h", "-help", "--help":
@@ -106,12 +143,14 @@ func usage(w io.Writer) {
 
 Commands:
   profile      profile a workload and emit its statistical profile as JSON
-  synthesize   synthesize a workload's clone and emit its HLC source
+  synthesize   synthesize a clone (from a workload or -from a saved profile)
+  consolidate  merge several profiles into one consolidated proxy profile
   experiments  regenerate the paper's tables and figures
+  serve        expose profile/synthesize/experiments as an HTTP service
   workloads    list available workload/input pairs
 
-Common flags: -workers N  -seed N  -isa NAME  -O N
-Run "synth <command> -h" for command-specific flags.
+Common flags: -workers N  -seed N  -isa NAME  -O N  -store DIR
+Run "synth <command> -h" for command-specific flags; see docs/cli.md.
 `)
 }
 
@@ -150,38 +189,133 @@ func cmdProfile(ctx context.Context, args []string, stdout, stderr io.Writer) er
 	return prof.Save(stdout)
 }
 
+// loadProfileFile reads a saved statistical profile (the JSON that `synth
+// profile` emits).
+func loadProfileFile(path string) (*profile.Profile, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	prof, err := profile.Load(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if prof.Graph == nil {
+		return nil, fmt.Errorf("%s: not a profile (missing graph)", path)
+	}
+	return prof, nil
+}
+
 func cmdSynthesize(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("synth synthesize", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var c commonFlags
 	addCommon(fs, &c)
 	name := fs.String("workload", "", "workload/input pair to clone (e.g. crc32/small)")
+	from := fs.String("from", "", "synthesize from a saved profile JSON file instead of a workload")
 	report := fs.Bool("report", false, "print the synthesis report to stderr")
 	validate := fs.Bool("validate", false, "run the Validate stage on the clone")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	w, err := lookupWorkload(*name)
-	if err != nil {
-		return err
+	if *name != "" && *from != "" {
+		return fmt.Errorf("-workload and -from are mutually exclusive")
 	}
 	p, err := c.pipeline()
 	if err != nil {
 		return err
 	}
-	cl, err := p.Synthesize(ctx, w)
-	if err != nil {
-		return err
-	}
-	if *validate {
-		if err := p.Validate(ctx, w); err != nil {
+
+	var cl *pipeline.Clone
+	switch {
+	case *from != "":
+		if *validate {
+			return fmt.Errorf("-validate requires -workload (the Validate stage is keyed by workload)")
+		}
+		prof, err := loadProfileFile(*from)
+		if err != nil {
 			return err
+		}
+		if cl, err = p.SynthesizeProfile(ctx, prof); err != nil {
+			return err
+		}
+	default:
+		w, err := lookupWorkload(*name)
+		if err != nil {
+			return err
+		}
+		if cl, err = p.Synthesize(ctx, w); err != nil {
+			return err
+		}
+		if *validate {
+			if err := p.Validate(ctx, w); err != nil {
+				return err
+			}
 		}
 	}
 	if *report {
 		rep := cl.Report
 		fmt.Fprintf(stderr, "workload %s: R=%d coverage=%.3f functions=%d stream classes=%v\n",
 			rep.Workload, rep.Reduction, rep.Coverage, rep.Functions, rep.StreamClasses)
+	}
+	fmt.Fprint(stdout, cl.Source)
+	return nil
+}
+
+// cmdConsolidate merges several profiles (Section II.B.e, "benchmark
+// consolidation") into one proxy profile. Each argument is either a path
+// to a saved profile JSON file or a workload name to profile in-process.
+func cmdConsolidate(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("synth consolidate", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var c commonFlags
+	addCommon(fs, &c)
+	name := fs.String("name", "consolidated", "name of the merged profile")
+	synth := fs.Bool("synthesize", false, "emit the consolidated clone's HLC source instead of the merged profile JSON")
+	report := fs.Bool("report", false, "with -synthesize, print the synthesis report to stderr")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() == 0 {
+		return fmt.Errorf("nothing to consolidate: pass workload names and/or profile JSON files")
+	}
+	p, err := c.pipeline()
+	if err != nil {
+		return err
+	}
+	// Resolve every input first (cheap), then profile the workload-named
+	// ones on the pipeline's worker pool; Map preserves argument order, so
+	// the merge is deterministic.
+	profs, err := pipeline.Map(ctx, p, fs.Args(),
+		func(ctx context.Context, arg string) (*profile.Profile, error) {
+			if _, statErr := os.Stat(arg); statErr == nil {
+				return loadProfileFile(arg)
+			}
+			w, err := lookupWorkload(arg)
+			if err != nil {
+				return nil, fmt.Errorf("%q is neither a file nor a workload: %w", arg, err)
+			}
+			return p.Profile(ctx, w)
+		})
+	if err != nil {
+		return err
+	}
+	merged, err := core.Consolidate(*name, profs...)
+	if err != nil {
+		return err
+	}
+	if !*synth {
+		return merged.Save(stdout)
+	}
+	cl, err := p.SynthesizeProfile(ctx, merged)
+	if err != nil {
+		return err
+	}
+	if *report {
+		rep := cl.Report
+		fmt.Fprintf(stderr, "consolidated %s (%d profiles): R=%d coverage=%.3f functions=%d\n",
+			*name, len(profs), rep.Reduction, rep.Coverage, rep.Functions)
 	}
 	fmt.Fprint(stdout, cl.Source)
 	return nil
@@ -194,61 +328,58 @@ var experimentNames = []string{
 	"obfuscation",
 }
 
-func cmdExperiments(ctx context.Context, args []string, stdout, stderr io.Writer) error {
-	fs := flag.NewFlagSet("synth experiments", flag.ContinueOnError)
-	fs.SetOutput(stderr)
-	var c commonFlags
-	addCommon(fs, &c)
-	suite := fs.String("suite", "quick", "workload suite: tiny, quick, or full")
-	only := fs.String("only", "", "comma-separated experiment subset (e.g. fig4,fig11); empty = all")
-	stats := fs.Bool("stats", false, "print artifact-cache statistics to stderr afterwards")
-	if err := fs.Parse(args); err != nil {
-		return err
-	}
-
-	var ws []*workloads.Workload
-	switch *suite {
+// suiteWorkloads resolves a suite name to its workload set.
+func suiteWorkloads(suite string) ([]*workloads.Workload, error) {
+	switch suite {
 	case "tiny":
+		var ws []*workloads.Workload
 		for _, n := range []string{"crc32/small", "dijkstra/small", "fft/small1"} {
 			if w := workloads.ByName(n); w != nil {
 				ws = append(ws, w)
 			}
 		}
+		return ws, nil
 	case "quick":
-		ws = experiments.Quick()
+		return experiments.Quick(), nil
 	case "full":
-		ws = experiments.Full()
-	default:
-		return fmt.Errorf("unknown suite %q (want tiny, quick, or full)", *suite)
+		return experiments.Full(), nil
 	}
+	return nil, fmt.Errorf("unknown suite %q (want tiny, quick, or full)", suite)
+}
 
+// parseOnly parses the -only experiment subset; an empty string selects
+// everything.
+func parseOnly(only string) (map[string]bool, error) {
 	selected := map[string]bool{}
-	if *only != "" {
-		for _, n := range strings.Split(*only, ",") {
-			n = strings.TrimSpace(strings.ToLower(n))
-			if n == "" {
-				continue
-			}
-			ok := false
-			for _, known := range experimentNames {
-				if n == known {
-					ok = true
-					break
-				}
-			}
-			if !ok {
-				return fmt.Errorf("unknown experiment %q (known: %s)", n, strings.Join(experimentNames, ", "))
-			}
-			selected[n] = true
+	if only == "" {
+		return selected, nil
+	}
+	for _, n := range strings.Split(only, ",") {
+		n = strings.TrimSpace(strings.ToLower(n))
+		if n == "" {
+			continue
 		}
+		ok := false
+		for _, known := range experimentNames {
+			if n == known {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return nil, fmt.Errorf("unknown experiment %q (known: %s)", n, strings.Join(experimentNames, ", "))
+		}
+		selected[n] = true
 	}
-	want := func(n string) bool { return len(selected) == 0 || selected[n] }
+	return selected, nil
+}
 
-	p, err := c.pipeline()
-	if err != nil {
-		return err
-	}
-	r := experiments.NewRunner(p)
+// renderExperiments writes the selected experiments for a suite to out,
+// in the fixed experimentNames order. It is the single rendering path
+// behind both `synth experiments` and the serve endpoint, so the CLI, the
+// service, and the library API agree by construction.
+func renderExperiments(ctx context.Context, r *experiments.Runner, ws []*workloads.Workload, selected map[string]bool, out io.Writer) error {
+	want := func(n string) bool { return len(selected) == 0 || selected[n] }
 
 	type printable interface{ Print(io.Writer) }
 	render := func(name string, run func() (printable, error)) error {
@@ -259,21 +390,21 @@ func cmdExperiments(ctx context.Context, args []string, stdout, stderr io.Writer
 		if err != nil {
 			return fmt.Errorf("%s: %w", name, err)
 		}
-		res.Print(stdout)
-		fmt.Fprintln(stdout)
+		res.Print(out)
+		fmt.Fprintln(out)
 		return nil
 	}
 
 	if want("table1") {
-		experiments.PrintTableI(stdout, experiments.TableI())
-		fmt.Fprintln(stdout)
+		experiments.PrintTableI(out, experiments.TableI())
+		fmt.Fprintln(out)
 	}
 	if err := render("table2", func() (printable, error) { return r.TableII(ctx, ws) }); err != nil {
 		return err
 	}
 	if want("table3") {
-		experiments.PrintTableIII(stdout)
-		fmt.Fprintln(stdout)
+		experiments.PrintTableIII(out)
+		fmt.Fprintln(out)
 	}
 	steps := []struct {
 		name string
@@ -295,15 +426,37 @@ func cmdExperiments(ctx context.Context, args []string, stdout, stderr io.Writer
 			return err
 		}
 	}
+	return nil
+}
+
+func cmdExperiments(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("synth experiments", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var c commonFlags
+	addCommon(fs, &c)
+	suite := fs.String("suite", "quick", "workload suite: tiny, quick, or full")
+	only := fs.String("only", "", "comma-separated experiment subset (e.g. fig4,fig11); empty = all")
+	stats := fs.Bool("stats", false, "print artifact-cache statistics to stderr afterwards")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ws, err := suiteWorkloads(*suite)
+	if err != nil {
+		return err
+	}
+	selected, err := parseOnly(*only)
+	if err != nil {
+		return err
+	}
+	p, err := c.pipeline()
+	if err != nil {
+		return err
+	}
+	if err := renderExperiments(ctx, experiments.NewRunner(p), ws, selected, stdout); err != nil {
+		return err
+	}
 	if *stats {
-		cs := p.CacheStats()
-		total := cs.Hits + cs.Misses
-		rate := 0.0
-		if total > 0 {
-			rate = float64(cs.Hits) / float64(total)
-		}
-		fmt.Fprintf(stderr, "artifact cache: %d hits, %d misses (%.1f%% hit rate), %d workers\n",
-			cs.Hits, cs.Misses, rate*100, p.Workers())
+		printStats(stderr, p)
 	}
 	return nil
 }

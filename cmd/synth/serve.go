@@ -1,0 +1,323 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/pipeline"
+	"repro/internal/profile"
+	"repro/internal/workloads"
+)
+
+// server is the HTTP face of one shared pipeline Runner: every request —
+// however many are in flight — submits jobs to the same artifact cache, so
+// concurrent clients coalesce onto single computations and a populated
+// store (or a warm process) answers without recomputing anything. The
+// response bytes for profiles and clone sources are exactly what the
+// library API and the CLI produce.
+type server struct {
+	p *pipeline.Pipeline
+	r *experiments.Runner
+}
+
+// newServer wraps a pipeline for HTTP serving.
+func newServer(p *pipeline.Pipeline) *server {
+	return &server{p: p, r: experiments.NewRunner(p)}
+}
+
+// handler builds the service's route table.
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/api/v1/workloads", s.handleWorkloads)
+	mux.HandleFunc("/api/v1/profile", s.handleProfile)
+	mux.HandleFunc("/api/v1/synthesize", s.handleSynthesize)
+	mux.HandleFunc("/api/v1/consolidate", s.handleConsolidate)
+	mux.HandleFunc("/api/v1/experiments", s.handleExperiments)
+	mux.HandleFunc("/api/v1/stats", s.handleStats)
+	return mux
+}
+
+// httpError renders an error as a JSON body with the given status.
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// writeJSON renders v indented, matching the CLI's JSON style.
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	enc.Encode(v)
+}
+
+// parseBoolParam interprets an optional boolean query parameter: absent is
+// false, otherwise strconv.ParseBool semantics (so synthesize=0 and
+// synthesize=false mean no).
+func parseBoolParam(v string) (bool, error) {
+	if v == "" {
+		return false, nil
+	}
+	b, err := strconv.ParseBool(v)
+	if err != nil {
+		return false, fmt.Errorf("bad boolean parameter %q", v)
+	}
+	return b, nil
+}
+
+// queryWorkload resolves the request's workload parameter.
+func queryWorkload(r *http.Request) (*workloads.Workload, int, error) {
+	name := r.URL.Query().Get("workload")
+	if name == "" {
+		return nil, http.StatusBadRequest, errors.New("missing workload parameter")
+	}
+	w := workloads.ByName(name)
+	if w == nil {
+		return nil, http.StatusNotFound, fmt.Errorf("unknown workload %q", name)
+	}
+	return w, 0, nil
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, "ok\n")
+}
+
+func (s *server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
+	type entry struct {
+		Name  string `json:"name"`
+		Bench string `json:"bench"`
+	}
+	var out []entry
+	for _, wl := range workloads.All() {
+		out = append(out, entry{Name: wl.Name, Bench: wl.Bench})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	writeJSON(w, out)
+}
+
+// handleProfile answers with the workload's statistical profile — the same
+// bytes `synth profile` writes to stdout.
+func (s *server) handleProfile(w http.ResponseWriter, r *http.Request) {
+	wl, status, err := queryWorkload(r)
+	if err != nil {
+		httpError(w, status, "%v", err)
+		return
+	}
+	prof, err := s.p.Profile(r.Context(), wl)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	var buf bytes.Buffer
+	if err := prof.Save(&buf); err != nil {
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(buf.Bytes())
+}
+
+// synthesizeResponse is the JSON envelope of a synthesize request.
+type synthesizeResponse struct {
+	Workload string      `json:"workload"`
+	Seed     int64       `json:"seed"`
+	Report   core.Report `json:"report"`
+	Source   string      `json:"source"`
+}
+
+// handleSynthesize answers with the workload's synthesized clone. With
+// format=source the body is the raw HLC source — the same bytes `synth
+// synthesize` writes to stdout; the default JSON envelope carries the
+// source plus the synthesis report.
+func (s *server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
+	wl, status, err := queryWorkload(r)
+	if err != nil {
+		httpError(w, status, "%v", err)
+		return
+	}
+	cl, err := s.p.Synthesize(r.Context(), wl)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	switch format := r.URL.Query().Get("format"); format {
+	case "", "json":
+		writeJSON(w, synthesizeResponse{
+			Workload: wl.Name,
+			Seed:     s.p.Seed(),
+			Report:   cl.Report,
+			Source:   cl.Source,
+		})
+	case "source":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		io.WriteString(w, cl.Source)
+	default:
+		httpError(w, http.StatusBadRequest, "unknown format %q (want json or source)", format)
+	}
+}
+
+// handleConsolidate merges the profiles of the comma-separated workloads
+// parameter into one proxy profile (core.Consolidate) and answers with the
+// merged profile JSON, or — with synthesize=1 — the consolidated clone.
+func (s *server) handleConsolidate(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	var names []string
+	for _, n := range strings.Split(q.Get("workloads"), ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			names = append(names, n)
+		}
+	}
+	if len(names) == 0 {
+		httpError(w, http.StatusBadRequest, "missing workloads parameter (comma-separated names)")
+		return
+	}
+	name := q.Get("name")
+	if name == "" {
+		name = "consolidated"
+	}
+	doSynth, err := parseBoolParam(q.Get("synthesize"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	var wls []*workloads.Workload
+	for _, n := range names {
+		wl := workloads.ByName(n)
+		if wl == nil {
+			httpError(w, http.StatusNotFound, "unknown workload %q", n)
+			return
+		}
+		wls = append(wls, wl)
+	}
+	profs, err := pipeline.Map(r.Context(), s.p, wls,
+		func(ctx context.Context, wl *workloads.Workload) (*profile.Profile, error) {
+			return s.p.Profile(ctx, wl)
+		})
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	merged, err := core.Consolidate(name, profs...)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	if !doSynth {
+		var buf bytes.Buffer
+		if err := merged.Save(&buf); err != nil {
+			httpError(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(buf.Bytes())
+		return
+	}
+	cl, err := s.p.SynthesizeProfile(r.Context(), merged)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, synthesizeResponse{
+		Workload: name,
+		Seed:     s.p.Seed(),
+		Report:   cl.Report,
+		Source:   cl.Source,
+	})
+}
+
+func (s *server) handleExperiments(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	suite := q.Get("suite")
+	if suite == "" {
+		suite = "quick"
+	}
+	ws, err := suiteWorkloads(suite)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	selected, err := parseOnly(q.Get("only"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	var buf bytes.Buffer
+	if err := renderExperiments(r.Context(), s.r, ws, selected, &buf); err != nil {
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, map[string]any{
+		"suite":  suite,
+		"only":   q.Get("only"),
+		"output": buf.String(),
+	})
+}
+
+// handleStats reports the shared pipeline's artifact-cache statistics.
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, map[string]any{
+		"cache":   s.p.CacheStats(),
+		"workers": s.p.Workers(),
+		"seed":    s.p.Seed(),
+	})
+}
+
+// cmdServe runs the HTTP service until the context is canceled.
+func cmdServe(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("synth serve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var c commonFlags
+	addCommon(fs, &c)
+	addr := fs.String("addr", "localhost:8091", "listen address")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	p, err := c.pipeline()
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{
+		Addr:        *addr,
+		Handler:     newServer(p).handler(),
+		BaseContext: func(net.Listener) context.Context { return ctx },
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(shutdownCtx)
+	}()
+	fmt.Fprintf(stderr, "synth serve: listening on http://%s (store: %s)\n", *addr, storeDesc(c.storeDir))
+	err = srv.ListenAndServe()
+	if errors.Is(err, http.ErrServerClosed) {
+		<-done
+		return nil
+	}
+	return err
+}
+
+// storeDesc renders the store configuration for the startup log line.
+func storeDesc(dir string) string {
+	if dir == "" {
+		return "memory-only"
+	}
+	return dir
+}

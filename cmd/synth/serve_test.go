@@ -1,0 +1,261 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/pipeline"
+	"repro/internal/workloads"
+)
+
+func testServer(t *testing.T) (*server, *pipeline.Pipeline) {
+	t.Helper()
+	p := pipeline.New(pipeline.Options{Workers: 4, Seed: 1})
+	return newServer(p), p
+}
+
+func get(t *testing.T, h http.Handler, url string) (int, string) {
+	t.Helper()
+	req := httptest.NewRequest("GET", url, nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec.Code, rec.Body.String()
+}
+
+// TestServeProfileMatchesLibrary is the acceptance property: the profile
+// endpoint answers byte-identical to the library API (and therefore to
+// `synth profile`).
+func TestServeProfileMatchesLibrary(t *testing.T) {
+	s, p := testServer(t)
+	h := s.handler()
+
+	code, body := get(t, h, "/api/v1/profile?workload=crc32/small")
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, body)
+	}
+
+	w := workloads.ByName("crc32/small")
+	prof, err := p.Profile(context.Background(), w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	if err := prof.Save(&want); err != nil {
+		t.Fatal(err)
+	}
+	if body != want.String() {
+		t.Error("profile endpoint differs from library profile.Save bytes")
+	}
+}
+
+// TestServeSynthesizeMatchesLibrary checks both response formats against
+// the library clone.
+func TestServeSynthesizeMatchesLibrary(t *testing.T) {
+	s, p := testServer(t)
+	h := s.handler()
+
+	cl, err := p.Synthesize(context.Background(), workloads.ByName("crc32/small"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	code, body := get(t, h, "/api/v1/synthesize?workload=crc32/small&format=source")
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	if body != cl.Source {
+		t.Error("format=source body differs from library clone source")
+	}
+
+	code, body = get(t, h, "/api/v1/synthesize?workload=crc32/small")
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	var resp synthesizeResponse
+	if err := json.Unmarshal([]byte(body), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Source != cl.Source || resp.Workload != "crc32/small" || resp.Seed != 1 {
+		t.Error("JSON envelope differs from library clone")
+	}
+	if resp.Report.Coverage != cl.Report.Coverage {
+		t.Error("JSON envelope dropped the synthesis report")
+	}
+}
+
+// TestServeConcurrentRequests fires many concurrent profile and synthesize
+// requests at one shared Runner and requires every response to be
+// identical (the artifact cache coalesces them onto single computations).
+func TestServeConcurrentRequests(t *testing.T) {
+	s, p := testServer(t)
+	h := s.handler()
+
+	const n = 16
+	bodies := make([]string, 2*n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(2)
+		go func(i int) {
+			defer wg.Done()
+			_, bodies[2*i] = get(t, h, "/api/v1/profile?workload=dijkstra/small")
+		}(i)
+		go func(i int) {
+			defer wg.Done()
+			_, bodies[2*i+1] = get(t, h, "/api/v1/synthesize?workload=dijkstra/small&format=source")
+		}(i)
+	}
+	wg.Wait()
+	for i := 2; i < 2*n; i += 2 {
+		if bodies[i] != bodies[0] {
+			t.Fatalf("profile response %d differs from response 0", i/2)
+		}
+		if bodies[i+1] != bodies[1] {
+			t.Fatalf("synthesize response %d differs from response 0", i/2)
+		}
+	}
+	if st := p.CacheStats(); st.ComputedFor(pipeline.StageProfile) != 1 ||
+		st.ComputedFor(pipeline.StageSynthesize) != 1 {
+		t.Errorf("concurrent requests did not coalesce: %+v", st)
+	}
+}
+
+// TestServeExperimentsMatchesCLI checks the experiments endpoint renders
+// exactly what `synth experiments` prints for the same suite.
+func TestServeExperimentsMatchesCLI(t *testing.T) {
+	s, _ := testServer(t)
+	h := s.handler()
+
+	code, body := get(t, h, "/api/v1/experiments?suite=tiny&only=table2")
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	var resp struct {
+		Suite  string `json:"suite"`
+		Output string `json:"output"`
+	}
+	if err := json.Unmarshal([]byte(body), &resp); err != nil {
+		t.Fatal(err)
+	}
+
+	var cliOut, cliErr bytes.Buffer
+	if c := run(context.Background(), []string{"experiments", "-suite", "tiny", "-only", "table2", "-seed", "1"},
+		&cliOut, &cliErr); c != 0 {
+		t.Fatalf("CLI exited %d: %s", c, cliErr.String())
+	}
+	if resp.Output != cliOut.String() {
+		t.Errorf("experiments endpoint differs from CLI output.\n--- serve ---\n%s\n--- CLI ---\n%s",
+			resp.Output, cliOut.String())
+	}
+}
+
+// TestServeConsolidate checks the consolidate endpoint merges profiles and
+// optionally synthesizes the consolidated clone.
+func TestServeConsolidate(t *testing.T) {
+	s, _ := testServer(t)
+	h := s.handler()
+
+	code, body := get(t, h, "/api/v1/consolidate?workloads=crc32/small,dijkstra/small&name=duo")
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	var merged struct {
+		Workload string `json:"workload"`
+		TotalDyn uint64 `json:"totalDyn"`
+	}
+	if err := json.Unmarshal([]byte(body), &merged); err != nil {
+		t.Fatal(err)
+	}
+	if merged.Workload != "duo" || merged.TotalDyn == 0 {
+		t.Errorf("unexpected merged profile: %+v", merged)
+	}
+
+	code, body = get(t, h, "/api/v1/consolidate?workloads=crc32/small,dijkstra/small&synthesize=1")
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	var resp synthesizeResponse
+	if err := json.Unmarshal([]byte(body), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(resp.Source, "void main()") {
+		t.Error("consolidated clone source looks wrong")
+	}
+}
+
+// TestServeStatsAndHealth covers the operational endpoints.
+func TestServeStatsAndHealth(t *testing.T) {
+	s, _ := testServer(t)
+	h := s.handler()
+
+	if code, body := get(t, h, "/healthz"); code != http.StatusOK || body != "ok\n" {
+		t.Errorf("healthz: %d %q", code, body)
+	}
+	code, body := get(t, h, "/api/v1/workloads")
+	if code != http.StatusOK || !strings.Contains(body, "crc32/small") {
+		t.Errorf("workloads: %d %s", code, body)
+	}
+	code, body = get(t, h, "/api/v1/stats")
+	if code != http.StatusOK {
+		t.Fatalf("stats: %d", code)
+	}
+	var stats struct {
+		Workers int `json:"workers"`
+		Cache   struct {
+			Hits uint64
+		} `json:"cache"`
+	}
+	if err := json.Unmarshal([]byte(body), &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Workers != 4 {
+		t.Errorf("stats workers = %d, want 4", stats.Workers)
+	}
+}
+
+// TestServeErrors covers the request-validation paths.
+func TestServeErrors(t *testing.T) {
+	s, _ := testServer(t)
+	h := s.handler()
+	cases := []struct {
+		url  string
+		code int
+	}{
+		{"/api/v1/profile", http.StatusBadRequest},
+		{"/api/v1/profile?workload=no/such", http.StatusNotFound},
+		{"/api/v1/synthesize?workload=no/such", http.StatusNotFound},
+		{"/api/v1/synthesize?workload=crc32/small&format=xml", http.StatusBadRequest},
+		{"/api/v1/experiments?suite=bogus", http.StatusBadRequest},
+		{"/api/v1/experiments?suite=tiny&only=fig99", http.StatusBadRequest},
+		{"/api/v1/consolidate", http.StatusBadRequest},
+		{"/api/v1/consolidate?workloads=no/such", http.StatusNotFound},
+		{"/api/v1/consolidate?workloads=crc32/small&synthesize=banana", http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		code, body := get(t, h, c.url)
+		if code != c.code {
+			t.Errorf("%s: status %d, want %d (%s)", c.url, code, c.code, body)
+		}
+		var e struct {
+			Error string `json:"error"`
+		}
+		if err := json.Unmarshal([]byte(body), &e); err != nil || e.Error == "" {
+			t.Errorf("%s: error body is not JSON with an error field: %s", c.url, body)
+		}
+	}
+}
+
+// drainRun runs the CLI and returns stdout, requiring exit 0.
+func drainRun(t *testing.T, args ...string) string {
+	t.Helper()
+	var out, errb bytes.Buffer
+	if code := run(context.Background(), args, &out, &errb); code != 0 {
+		t.Fatalf("synth %s exited %d: %s", strings.Join(args, " "), code, errb.String())
+	}
+	return out.String()
+}

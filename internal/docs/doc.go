@@ -1,0 +1,6 @@
+// Package docs holds the repository's documentation guards: test-enforced
+// invariants that every exported identifier in the core packages carries a
+// godoc comment and that every relative link in the repo's markdown files
+// resolves. The guards run under plain `go test ./...`, so CI keeps the
+// documentation from rotting without any extra tooling.
+package docs

@@ -10,11 +10,17 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/compiler"
+	"repro/internal/store"
 )
 
 // Key identifies one artifact in the content-addressed cache. Two jobs that
 // agree on every field share the artifact: a compile of crc32/small for
 // amd64 -O2 is the same whether Fig. 6, Fig. 8, or Fig. 11 asked for it.
+//
+// Keys address both cache tiers. In memory the struct itself is the map
+// key; on disk the artifact is filed under Digest with Canonical stored in
+// the entry envelope and re-verified on read, so a 64-bit digest collision
+// degrades to a miss instead of a silently wrong artifact.
 type Key struct {
 	Stage    Stage
 	Workload string
@@ -23,22 +29,56 @@ type Key struct {
 	Seed     int64        // clone-synthesis seed (clone artifacts only)
 	Clone    bool         // artifact derives from the synthetic clone
 	Cache    cache.Config // profiling cache configuration (profile-derived artifacts)
+	// TargetDyn and MaxInstrs carry the pipeline options that shape
+	// profile- and clone-derived artifacts, so two processes sharing a
+	// persistent store with different bounds never exchange artifacts.
+	TargetDyn uint64
+	MaxInstrs uint64
+	// Src fingerprints the workload's HLC source on keys whose artifacts
+	// are persisted, so editing a workload self-invalidates its disk
+	// entries instead of serving stale artifacts under the same name.
+	// (Compiler or profiler changes are not fingerprinted: those require
+	// a store.SchemaVersion bump or a fresh store directory.)
+	Src string
+}
+
+// Canonical returns the versioned, unambiguous encoding of the key that
+// disk entries store and verify. Changing this format is a store schema
+// change: bump store.SchemaVersion alongside it.
+func (k Key) Canonical() string {
+	return fmt.Sprintf("v1|%d|%s|%s|%d|%d|%t|%s|%d|%d|%d|%d|%d|%s",
+		k.Stage, k.Workload, k.ISA, k.Level, k.Seed, k.Clone,
+		k.Cache.Name, k.Cache.Size, k.Cache.LineSize, k.Cache.Assoc,
+		k.TargetDyn, k.MaxInstrs, k.Src)
 }
 
 // Digest returns the printable content address: a 64-bit FNV-1a hash over
-// the canonical encoding of every field, for logs and diagnostics.
+// Canonical, used as the disk filename and in logs and diagnostics.
 func (k Key) Digest() string {
 	h := fnv.New64a()
-	fmt.Fprintf(h, "%d|%s|%s|%d|%d|%t|%s|%d|%d|%d",
-		k.Stage, k.Workload, k.ISA, k.Level, k.Seed, k.Clone,
-		k.Cache.Name, k.Cache.Size, k.Cache.LineSize, k.Cache.Assoc)
+	h.Write([]byte(k.Canonical()))
 	return fmt.Sprintf("%016x", h.Sum64())
 }
 
-// CacheStats reports artifact-cache effectiveness.
+// CacheStats reports artifact-cache effectiveness across both tiers.
 type CacheStats struct {
-	Hits   uint64 // requests satisfied by (or coalesced onto) an existing entry
-	Misses uint64 // requests that computed the artifact
+	Hits     uint64 // requests satisfied by (or coalesced onto) an in-memory entry
+	Misses   uint64 // requests that computed the artifact
+	DiskHits uint64 // memory misses satisfied by the persistent store
+	// DiskErrors counts store entries that failed to decode and store
+	// writes that failed; both degrade to recomputation, never failure.
+	DiskErrors uint64
+	// Computed counts artifact computations per stage, so a warm-store run
+	// can assert that no Compile or Profile work was redone.
+	Computed [NumStages]uint64
+}
+
+// ComputedFor returns the number of artifacts computed for one stage.
+func (s CacheStats) ComputedFor(st Stage) uint64 {
+	if int(st) < len(s.Computed) {
+		return s.Computed[st]
+	}
+	return 0
 }
 
 // entry is one in-flight or completed artifact. Waiters block on ready, so
@@ -49,31 +89,90 @@ type entry struct {
 	err   error
 }
 
-// artifactCache is the in-memory content-addressed store behind a Pipeline.
-// The map is keyed by the full Key struct — Digest is the printable content
-// address, but using it as the map key would turn a 64-bit hash collision
-// into a silently wrong artifact.
-type artifactCache struct {
-	mu     sync.Mutex
-	m      map[Key]*entry
-	hits   atomic.Uint64
-	misses atomic.Uint64
+// codec (de)serializes one artifact kind for the disk tier. Stages whose
+// artifacts are process-bound (ASTs with pointer identity) have no codec
+// and stay memory-only.
+type codec struct {
+	kind   string
+	encode func(any) ([]byte, error)
+	decode func([]byte) (any, error)
 }
 
-func newArtifactCache() *artifactCache {
-	return &artifactCache{m: make(map[Key]*entry)}
+// artifactCache is the content-addressed store behind a Pipeline: an
+// in-memory map with single-flight coalescing, optionally backed by a
+// persistent disk tier shared across processes. The map is keyed by the
+// full Key struct — Digest is the printable content address, but using it
+// as the map key would turn a 64-bit hash collision into a silently wrong
+// artifact.
+type artifactCache struct {
+	mu         sync.Mutex
+	m          map[Key]*entry
+	disk       *store.Store // nil = memory-only
+	hits       atomic.Uint64
+	misses     atomic.Uint64
+	diskHits   atomic.Uint64
+	diskErrors atomic.Uint64
+	computed   [NumStages]atomic.Uint64
+}
+
+func newArtifactCache(disk *store.Store) *artifactCache {
+	return &artifactCache{m: make(map[Key]*entry), disk: disk}
 }
 
 func (c *artifactCache) stats() CacheStats {
-	return CacheStats{Hits: c.hits.Load(), Misses: c.misses.Load()}
+	s := CacheStats{
+		Hits:       c.hits.Load(),
+		Misses:     c.misses.Load(),
+		DiskHits:   c.diskHits.Load(),
+		DiskErrors: c.diskErrors.Load(),
+	}
+	for i := range c.computed {
+		s.Computed[i] = c.computed[i].Load()
+	}
+	return s
+}
+
+// fromDisk tries to satisfy k from the persistent tier. A damaged or
+// mismatched entry is a miss.
+func (c *artifactCache) fromDisk(k Key, cd *codec) (any, bool) {
+	if c.disk == nil || cd == nil {
+		return nil, false
+	}
+	payload, ok := c.disk.Get(k.Digest(), cd.kind, k.Canonical())
+	if !ok {
+		return nil, false
+	}
+	v, err := cd.decode(payload)
+	if err != nil {
+		c.diskErrors.Add(1)
+		return nil, false
+	}
+	return v, true
+}
+
+// toDisk writes a freshly computed artifact through to the persistent
+// tier. Failures are counted, not propagated: the store is a cache.
+func (c *artifactCache) toDisk(k Key, cd *codec, v any) {
+	if c.disk == nil || cd == nil {
+		return
+	}
+	payload, err := cd.encode(v)
+	if err == nil {
+		err = c.disk.Put(k.Digest(), cd.kind, k.Canonical(), payload)
+	}
+	if err != nil {
+		c.diskErrors.Add(1)
+	}
 }
 
 // do returns the artifact for k, computing it with fn at most once across
-// all concurrent callers. Failed computations are not cached, and waiters
-// that coalesced onto a computation whose owner got canceled retry under
-// their own context instead of inheriting the cancellation — the pipeline
-// is shared, and one run's cancel must not fail an unrelated run's jobs.
-func (c *artifactCache) do(ctx context.Context, k Key, fn func() (any, error)) (any, error) {
+// all concurrent callers. Lookup order is memory, then disk (when cd and a
+// store are configured), then fn with a write-through to disk. Failed
+// computations are not cached, and waiters that coalesced onto a
+// computation whose owner got canceled retry under their own context
+// instead of inheriting the cancellation — the pipeline is shared, and one
+// run's cancel must not fail an unrelated run's jobs.
+func (c *artifactCache) do(ctx context.Context, k Key, cd *codec, fn func() (any, error)) (any, error) {
 	for {
 		c.mu.Lock()
 		if e, ok := c.m[k]; ok {
@@ -95,13 +194,25 @@ func (c *artifactCache) do(ctx context.Context, k Key, fn func() (any, error)) (
 		e := &entry{ready: make(chan struct{})}
 		c.m[k] = e
 		c.mu.Unlock()
-		c.misses.Add(1)
 
+		if v, ok := c.fromDisk(k, cd); ok {
+			c.diskHits.Add(1)
+			e.val = v
+			close(e.ready)
+			return v, nil
+		}
+
+		c.misses.Add(1)
+		if int(k.Stage) < len(c.computed) {
+			c.computed[k.Stage].Add(1)
+		}
 		e.val, e.err = fn()
 		if e.err != nil {
 			c.mu.Lock()
 			delete(c.m, k)
 			c.mu.Unlock()
+		} else {
+			c.toDisk(k, cd, e.val)
 		}
 		close(e.ready)
 		return e.val, e.err

@@ -13,6 +13,7 @@ import (
 // executable benchmark.
 type Stage int
 
+// Pipeline stages, in execution order.
 const (
 	StageParse Stage = iota
 	StageCheck
@@ -25,6 +26,10 @@ const (
 var stageNames = [...]string{
 	"parse", "check", "compile", "profile", "synthesize", "validate",
 }
+
+// NumStages is the number of pipeline stages; CacheStats.Computed is
+// indexed by Stage.
+const NumStages = len(stageNames)
 
 // String returns the stage's lowercase name.
 func (s Stage) String() string {

@@ -25,6 +25,7 @@ import (
 	"repro/internal/hlc"
 	"repro/internal/isa"
 	"repro/internal/profile"
+	"repro/internal/store"
 	"repro/internal/vm"
 	"repro/internal/workloads"
 )
@@ -47,6 +48,12 @@ type Options struct {
 	ProfileCache cache.Config
 	// MaxInstrs bounds profiled executions (0 = VM default).
 	MaxInstrs uint64
+	// Store, when non-nil, adds a persistent disk tier under the artifact
+	// cache: memory misses probe the store first, and computed artifacts
+	// are written through, so separate processes sharing one store
+	// directory never duplicate a compile, profile, or synthesis. Off by
+	// default (nil = memory-only caching, the pre-store behavior).
+	Store *store.Store
 }
 
 // Pipeline executes framework stages with caching and bounded parallelism.
@@ -70,7 +77,7 @@ func New(opts Options) *Pipeline {
 	if opts.ProfileCache == (cache.Config{}) {
 		opts.ProfileCache = profile.DefaultCache
 	}
-	return &Pipeline{opts: opts, cache: newArtifactCache()}
+	return &Pipeline{opts: opts, cache: newArtifactCache(opts.Store)}
 }
 
 // Workers returns the fan-out bound.
@@ -108,7 +115,7 @@ func (p *Pipeline) Parse(ctx context.Context, w *workloads.Workload) (*hlc.Progr
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	v, err := p.cache.do(ctx, Key{Stage: StageParse, Workload: w.Name}, func() (any, error) {
+	v, err := p.cache.do(ctx, Key{Stage: StageParse, Workload: w.Name}, nil, func() (any, error) {
 		prog, err := hlc.Parse(w.Source)
 		if err != nil {
 			return nil, p.fail(StageParse, w.Name, err)
@@ -126,7 +133,7 @@ func (p *Pipeline) Check(ctx context.Context, w *workloads.Workload) (*hlc.Check
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	v, err := p.cache.do(ctx, Key{Stage: StageCheck, Workload: w.Name}, func() (any, error) {
+	v, err := p.cache.do(ctx, Key{Stage: StageCheck, Workload: w.Name}, nil, func() (any, error) {
 		prog, err := p.Parse(ctx, w)
 		if err != nil {
 			return nil, err
@@ -149,8 +156,9 @@ func (p *Pipeline) Compile(ctx context.Context, w *workloads.Workload, target *i
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	key := Key{Stage: StageCompile, Workload: w.Name, ISA: target.Name, Level: level}
-	v, err := p.cache.do(ctx, key, func() (any, error) {
+	key := Key{Stage: StageCompile, Workload: w.Name, ISA: target.Name, Level: level,
+		Src: srcID(w)}
+	v, err := p.cache.do(ctx, key, codecProgram, func() (any, error) {
 		cp, err := p.Check(ctx, w)
 		if err != nil {
 			return nil, err
@@ -175,8 +183,9 @@ func (p *Pipeline) Profile(ctx context.Context, w *workloads.Workload) (*profile
 		return nil, err
 	}
 	key := Key{Stage: StageProfile, Workload: w.Name, ISA: p.opts.ProfileISA.Name,
-		Level: p.opts.ProfileLevel, Cache: p.opts.ProfileCache}
-	v, err := p.cache.do(ctx, key, func() (any, error) {
+		Level: p.opts.ProfileLevel, Cache: p.opts.ProfileCache,
+		MaxInstrs: p.opts.MaxInstrs, Src: srcID(w)}
+	v, err := p.cache.do(ctx, key, codecProfile, func() (any, error) {
 		prog, err := p.Compile(ctx, w, p.opts.ProfileISA, p.opts.ProfileLevel)
 		if err != nil {
 			return nil, err
@@ -196,10 +205,16 @@ func (p *Pipeline) Profile(ctx context.Context, w *workloads.Workload) (*profile
 	return v.(*profile.Profile), nil
 }
 
+// srcID fingerprints a workload's HLC source for persistent cache keys.
+func srcID(w *workloads.Workload) string {
+	return store.Fingerprint([]byte(w.Source))
+}
+
 func (p *Pipeline) cloneKey(s Stage, w *workloads.Workload) Key {
 	return Key{Stage: s, Workload: w.Name, ISA: p.opts.ProfileISA.Name,
 		Level: p.opts.ProfileLevel, Seed: p.opts.Seed, Clone: true,
-		Cache: p.opts.ProfileCache}
+		Cache: p.opts.ProfileCache, TargetDyn: p.opts.TargetDyn,
+		MaxInstrs: p.opts.MaxInstrs, Src: srcID(w)}
 }
 
 // Synthesize runs the Synthesize stage: profile to benchmark clone.
@@ -207,29 +222,68 @@ func (p *Pipeline) Synthesize(ctx context.Context, w *workloads.Workload) (*Clon
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	v, err := p.cache.do(ctx, p.cloneKey(StageSynthesize, w), func() (any, error) {
+	v, err := p.cache.do(ctx, p.cloneKey(StageSynthesize, w), codecClone, func() (any, error) {
 		prof, err := p.Profile(ctx, w)
 		if err != nil {
 			return nil, err
 		}
-		prog, rep, err := core.Synthesize(prof, core.Config{
-			Seed:      p.opts.Seed,
-			TargetDyn: p.opts.TargetDyn,
-		})
+		cl, err := p.synthesizeClone(prof, w.Name)
 		if err != nil {
-			return nil, &StageError{Stage: StageSynthesize, Workload: w.Name, Clone: true, Err: err}
+			return nil, err
 		}
-		cp, err := hlc.Check(prog)
-		if err != nil {
-			return nil, &StageError{Stage: StageSynthesize, Workload: w.Name, Clone: true, Err: err}
-		}
-		return &Clone{
-			Prog:    prog,
-			Checked: cp,
-			Report:  rep,
-			Source:  hlc.Print(prog),
-			Profile: prof,
-		}, nil
+		return cl, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*Clone), nil
+}
+
+// synthesizeClone runs the synthesis core on a profile and packages the
+// result, shared by Synthesize and SynthesizeProfile.
+func (p *Pipeline) synthesizeClone(prof *profile.Profile, workload string) (*Clone, error) {
+	prog, rep, err := core.Synthesize(prof, core.Config{
+		Seed:      p.opts.Seed,
+		TargetDyn: p.opts.TargetDyn,
+	})
+	if err != nil {
+		return nil, &StageError{Stage: StageSynthesize, Workload: workload, Clone: true, Err: err}
+	}
+	cp, err := hlc.Check(prog)
+	if err != nil {
+		return nil, &StageError{Stage: StageSynthesize, Workload: workload, Clone: true, Err: err}
+	}
+	return &Clone{
+		Prog:    prog,
+		Checked: cp,
+		Report:  rep,
+		Source:  hlc.Print(prog),
+		Profile: prof,
+	}, nil
+}
+
+// SynthesizeProfile runs the Synthesize stage on an externally supplied
+// profile — one loaded from disk (`synth synthesize -from`) or merged by
+// core.Consolidate — instead of a named workload. The artifact is cached
+// and persisted under the profile's content fingerprint, so repeated
+// synthesis from the same saved profile is as incremental as the named
+// flow.
+func (p *Pipeline) SynthesizeProfile(ctx context.Context, prof *profile.Profile) (*Clone, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if prof == nil || prof.Graph == nil {
+		return nil, p.fail(StageSynthesize, "(profile)", fmt.Errorf("nil profile"))
+	}
+	payload, err := store.EncodeProfile(prof)
+	if err != nil {
+		return nil, p.fail(StageSynthesize, prof.Workload, err)
+	}
+	key := p.cloneKey(StageSynthesize, &workloads.Workload{
+		Name: "profile:" + store.Fingerprint(payload),
+	})
+	v, err := p.cache.do(ctx, key, codecClone, func() (any, error) {
+		return p.synthesizeClone(prof, prof.Workload)
 	})
 	if err != nil {
 		return nil, err
@@ -245,7 +299,7 @@ func (p *Pipeline) CompileClone(ctx context.Context, w *workloads.Workload, targ
 	}
 	key := p.cloneKey(StageCompile, w)
 	key.ISA, key.Level = target.Name, level
-	v, err := p.cache.do(ctx, key, func() (any, error) {
+	v, err := p.cache.do(ctx, key, codecProgram, func() (any, error) {
 		cl, err := p.Synthesize(ctx, w)
 		if err != nil {
 			return nil, err
@@ -273,7 +327,7 @@ func (p *Pipeline) Validate(ctx context.Context, w *workloads.Workload) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	_, err := p.cache.do(ctx, p.cloneKey(StageValidate, w), func() (any, error) {
+	_, err := p.cache.do(ctx, p.cloneKey(StageValidate, w), codecMarker, func() (any, error) {
 		prog, err := p.CompileClone(ctx, w, p.opts.ProfileISA, p.opts.ProfileLevel)
 		if err != nil {
 			return nil, err

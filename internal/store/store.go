@@ -1,0 +1,162 @@
+// Package store persists pipeline artifacts on disk as versioned JSON so
+// that separate processes — repeated cmd/synth invocations, CI runs, or a
+// long-lived `synth serve` — share one content-addressed artifact store
+// instead of recompiling and re-profiling the workload × ISA × level cross
+// product from scratch.
+//
+// Every entry is a self-describing envelope: a schema version, an artifact
+// kind, the full canonical key the artifact was stored under, a checksum of
+// the payload, and the payload itself. Readers validate all four before
+// trusting the payload; any mismatch — truncated file, stale schema, digest
+// collision, bit rot — is reported as a miss, never as an error, so a
+// damaged store degrades to recomputation rather than failure.
+//
+// The package also owns the (de)serialization of the artifact kinds the
+// pipeline persists: statistical profiles, compiled programs, and
+// synthesized clones (see artifacts.go).
+package store
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+)
+
+// SchemaVersion is the store's on-disk schema. Entries written under a
+// different version are treated as misses, so a schema bump invalidates an
+// old store directory without breaking readers.
+const SchemaVersion = 1
+
+// Artifact kinds. An entry's kind must match the reader's expectation, so
+// a digest collision between two different artifact types reads as a miss.
+const (
+	KindProfile = "profile" // a profile.Profile (statistical profile JSON)
+	KindProgram = "program" // a compiled isa.Program
+	KindClone   = "clone"   // a synthesized clone (source + report + profile)
+	KindMarker  = "marker"  // a validation marker carrying no payload data
+)
+
+// Store is a content-addressed artifact store rooted at one directory.
+// Entries are named by digest and sharded into two-hex-character
+// subdirectories. Writes are atomic (temp file + rename), so concurrent
+// processes sharing a root never observe partial entries. A Store is safe
+// for concurrent use.
+type Store struct {
+	root string
+}
+
+// Open creates (if needed) and returns the store rooted at dir.
+func Open(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, errors.New("store: empty root directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: open %s: %w", dir, err)
+	}
+	return &Store{root: dir}, nil
+}
+
+// Root returns the store's root directory.
+func (s *Store) Root() string { return s.root }
+
+// path maps a digest to its sharded file path.
+func (s *Store) path(digest string) string {
+	shard := "00"
+	if len(digest) >= 2 {
+		shard = digest[:2]
+	}
+	return filepath.Join(s.root, shard, digest+".json")
+}
+
+// envelope is the on-disk entry format.
+type envelope struct {
+	Schema   int             `json:"schema"`
+	Kind     string          `json:"kind"`
+	Key      string          `json:"key"`
+	Checksum string          `json:"checksum"`
+	Payload  json.RawMessage `json:"payload"`
+}
+
+// Fingerprint returns the printable 64-bit FNV-1a hash of data. It is the
+// checksum used inside envelopes and the content address used for artifacts
+// that have no pipeline key of their own (externally loaded profiles).
+func Fingerprint(data []byte) string {
+	h := fnv.New64a()
+	h.Write(data)
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// Get returns the payload stored under digest, or ok=false if the entry is
+// absent, unreadable, written under a different schema version, of the
+// wrong kind, keyed by a different canonical key (a digest collision), or
+// fails its checksum. Corruption is a miss by design: the store is a cache,
+// and the caller recomputes.
+func (s *Store) Get(digest, kind, key string) (payload []byte, ok bool) {
+	data, err := os.ReadFile(s.path(digest))
+	if err != nil {
+		return nil, false
+	}
+	var env envelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		return nil, false
+	}
+	if env.Schema != SchemaVersion || env.Kind != kind || env.Key != key {
+		return nil, false
+	}
+	if Fingerprint(env.Payload) != env.Checksum {
+		return nil, false
+	}
+	return env.Payload, true
+}
+
+// Put writes payload under digest, atomically replacing any existing entry.
+// kind and key are stored in the envelope and re-verified by Get.
+func (s *Store) Put(digest, kind, key string, payload []byte) error {
+	path := s.path(digest)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("store: put %s: %w", digest, err)
+	}
+	data, err := json.Marshal(envelope{
+		Schema:   SchemaVersion,
+		Kind:     kind,
+		Key:      key,
+		Checksum: Fingerprint(payload),
+		Payload:  payload,
+	})
+	if err != nil {
+		return fmt.Errorf("store: put %s: %w", digest, err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), "."+digest+".tmp-")
+	if err != nil {
+		return fmt.Errorf("store: put %s: %w", digest, err)
+	}
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: put %s: write %v, close %v", digest, werr, cerr)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: put %s: %w", digest, err)
+	}
+	return nil
+}
+
+// Len walks the store and counts entries, for diagnostics and tests.
+func (s *Store) Len() (int, error) {
+	n := 0
+	err := filepath.WalkDir(s.root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() && filepath.Ext(path) == ".json" {
+			n++
+		}
+		return nil
+	})
+	return n, err
+}

@@ -1,0 +1,294 @@
+package store_test
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/compiler"
+	"repro/internal/hlc"
+	"repro/internal/isa"
+	"repro/internal/profile"
+	"repro/internal/sfgl"
+	"repro/internal/store"
+	"repro/internal/vm"
+)
+
+// testProfile builds a small hand-made profile exercising every optional
+// field: branch info, loops with parents, mem classes, func calls.
+func testProfile() *profile.Profile {
+	g := &sfgl.Graph{
+		FuncNames: []string{"main", "helper"},
+		FuncCalls: []uint64{1, 42},
+		Nodes: []*sfgl.Node{
+			{ID: 0, Func: 0, Block: 0, Count: 100,
+				Instrs: []sfgl.InstrInfo{
+					{Op: isa.LD, Class: isa.ClassLoad, MemClass: 3},
+					{Op: isa.ADD, Class: isa.ClassIntALU, MemClass: -1},
+					{Op: isa.BR, Class: isa.ClassBranch, MemClass: -1},
+				},
+				Branch: &sfgl.BranchInfo{Taken: 60, Total: 100, Transitions: 20,
+					TakenRate: 0.6, TransRate: 0.2020202, Hard: true}},
+			{ID: 1, Func: 1, Block: 0, Count: 42,
+				Instrs: []sfgl.InstrInfo{{Op: isa.RET, Class: isa.ClassRet, MemClass: -1}}},
+		},
+		Edges: []*sfgl.Edge{{From: 0, To: 0, Count: 60}, {From: 0, To: 1, Count: 40}},
+		Loops: []*sfgl.Loop{
+			{ID: 0, Func: 0, Header: 0, Nodes: []int{0}, Parent: -1, Depth: 1,
+				Entries: 40, Iterations: 100},
+		},
+	}
+	return &profile.Profile{
+		Workload: "test/tiny",
+		Graph:    g,
+		TotalDyn: 342,
+		Mix: func() (m [isa.NumClasses]uint64) {
+			m[isa.ClassLoad] = 100
+			m[isa.ClassIntALU] = 100
+			m[isa.ClassBranch] = 100
+			m[isa.ClassRet] = 42
+			return
+		}(),
+		CacheCfg:   cache.Config{Name: "profile-8KB", Size: 8192, LineSize: 32, Assoc: 2},
+		OutputHash: 0xdeadbeef,
+	}
+}
+
+// TestStoreProfileRoundTrip requires marshal → unmarshal → marshal to be
+// byte-identical and the decoded structure to deep-equal the original.
+func TestStoreProfileRoundTrip(t *testing.T) {
+	p := testProfile()
+	enc1, err := store.EncodeProfile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := store.DecodeProfile(enc1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc2, err := store.EncodeProfile(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(enc1, enc2) {
+		t.Errorf("re-marshal differs:\n%s\nvs\n%s", enc1, enc2)
+	}
+	if !reflect.DeepEqual(p, p2) {
+		t.Error("decoded profile does not deep-equal the original")
+	}
+}
+
+const progSrc = `
+int acc;
+void main() {
+  int i;
+  for (i = 0; i < 10; i = i + 1) {
+    acc = acc + i;
+  }
+  print(acc);
+}
+`
+
+func compileSrc(t *testing.T, target *isa.Desc, level compiler.OptLevel) *isa.Program {
+	t.Helper()
+	ast, err := hlc.Parse(progSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, err := hlc.Check(ast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := compiler.Compile(cp, target, level)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+// TestStoreProgramRoundTrip checks that a compiled program survives the
+// disk encoding: structure deep-equals, the ISA descriptor is re-linked to
+// the canonical pointer, and the decoded program executes identically.
+func TestStoreProgramRoundTrip(t *testing.T) {
+	for _, target := range []*isa.Desc{isa.X86, isa.AMD64, isa.IA64} {
+		prog := compileSrc(t, target, compiler.O2)
+		enc, err := store.EncodeProgram(prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := store.DecodeProgram(enc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.ISA != target {
+			t.Errorf("%s: ISA not re-linked to the canonical descriptor", target.Name)
+		}
+		if !reflect.DeepEqual(prog.Funcs, got.Funcs) ||
+			!reflect.DeepEqual(prog.Globals, got.Globals) || prog.Entry != got.Entry {
+			t.Errorf("%s: decoded program differs structurally", target.Name)
+		}
+		want, err := vm.New(prog).Run(vm.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		have, err := vm.New(got).Run(vm.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want.OutputHash != have.OutputHash || want.DynInstrs != have.DynInstrs {
+			t.Errorf("%s: decoded program executes differently", target.Name)
+		}
+	}
+}
+
+// TestStoreProgramDecodeRejects covers the validation paths.
+func TestStoreProgramDecodeRejects(t *testing.T) {
+	for name, data := range map[string]string{
+		"bad json":    `{`,
+		"unknown isa": `{"isa":"z80","funcs":[],"entry":0}`,
+		"bad entry":   `{"isa":"amd64v","funcs":[],"entry":0}`,
+	} {
+		if _, err := store.DecodeProgram([]byte(data)); err == nil {
+			t.Errorf("%s: decode accepted invalid input", name)
+		}
+	}
+}
+
+// TestStoreCloneRoundTrip round-trips a clone record and re-parses its
+// source, the way the pipeline's disk tier rebuilds clone artifacts.
+func TestStoreCloneRoundTrip(t *testing.T) {
+	c := &store.Clone{Source: progSrc, Profile: testProfile()}
+	c.Report.Workload = "test/tiny"
+	c.Report.Reduction = 7
+	c.Report.Coverage = 0.998
+	enc, err := store.EncodeClone(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := store.DecodeClone(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(c, got) {
+		t.Error("decoded clone does not deep-equal the original")
+	}
+	if _, err := hlc.Parse(got.Source); err != nil {
+		t.Errorf("round-tripped source no longer parses: %v", err)
+	}
+	if _, err := store.DecodeClone([]byte(`{"source":""}`)); err == nil {
+		t.Error("decode accepted a clone with no source")
+	}
+}
+
+// TestStoreGetPut exercises the envelope contract: hits require matching
+// digest, kind, key, schema, and checksum.
+func TestStoreGetPut(t *testing.T) {
+	s, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte(`{"x":1}`)
+	if err := s.Put("0123456789abcdef", store.KindProfile, "k1", payload); err != nil {
+		t.Fatal(err)
+	}
+
+	got, ok := s.Get("0123456789abcdef", store.KindProfile, "k1")
+	if !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("round-trip failed: ok=%v payload=%s", ok, got)
+	}
+	if _, ok := s.Get("0123456789abcdef", store.KindProgram, "k1"); ok {
+		t.Error("kind mismatch must be a miss")
+	}
+	if _, ok := s.Get("0123456789abcdef", store.KindProfile, "other-key"); ok {
+		t.Error("key mismatch (digest collision) must be a miss")
+	}
+	if _, ok := s.Get("fedcba9876543210", store.KindProfile, "k1"); ok {
+		t.Error("absent digest must be a miss")
+	}
+
+	// Overwrite is allowed and atomic.
+	payload2 := []byte(`{"x":2}`)
+	if err := s.Put("0123456789abcdef", store.KindProfile, "k1", payload2); err != nil {
+		t.Fatal(err)
+	}
+	got, ok = s.Get("0123456789abcdef", store.KindProfile, "k1")
+	if !ok || !bytes.Equal(got, payload2) {
+		t.Error("overwrite did not take effect")
+	}
+
+	if n, err := s.Len(); err != nil || n != 1 {
+		t.Errorf("Len = %d, %v; want 1 entry", n, err)
+	}
+}
+
+// TestStoreCorruptionIsMiss damages stored entries in several ways and
+// requires every one to read as a miss, never an error or a wrong value.
+func TestStoreCorruptionIsMiss(t *testing.T) {
+	root := t.TempDir()
+	s, err := store.Open(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const digest = "00aa00aa00aa00aa"
+	corruptions := map[string]func(path string) error{
+		"truncated": func(p string) error {
+			data, _ := os.ReadFile(p)
+			return os.WriteFile(p, data[:len(data)/2], 0o644)
+		},
+		"garbage": func(p string) error {
+			return os.WriteFile(p, []byte("not json at all"), 0o644)
+		},
+		"bit flip in payload": func(p string) error {
+			data, _ := os.ReadFile(p)
+			i := bytes.Index(data, []byte(`"x":1`))
+			data[i+4] = '9'
+			return os.WriteFile(p, data, 0o644)
+		},
+		"stale schema": func(p string) error {
+			data, _ := os.ReadFile(p)
+			data = bytes.Replace(data, []byte(`"schema":1`), []byte(`"schema":999`), 1)
+			return os.WriteFile(p, data, 0o644)
+		},
+		"empty file": func(p string) error {
+			return os.WriteFile(p, nil, 0o644)
+		},
+	}
+	for name, corrupt := range corruptions {
+		if err := s.Put(digest, store.KindProfile, "key", []byte(`{"x":1}`)); err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(root, digest[:2], digest+".json")
+		if err := corrupt(path); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if _, ok := s.Get(digest, store.KindProfile, "key"); ok {
+			t.Errorf("%s: corrupted entry was served as a hit", name)
+		}
+	}
+}
+
+// TestStoreFingerprintGolden pins the checksum function across processes
+// and platforms: these values must never change while SchemaVersion is 1,
+// or every existing store silently invalidates.
+func TestStoreFingerprintGolden(t *testing.T) {
+	golden := map[string]string{
+		"":            "cbf29ce484222325",
+		"hello":       "a430d84680aabd0b",
+		`{"ok":true}`: "1b4b9c59b3854dc5",
+	}
+	for in, want := range golden {
+		if got := store.Fingerprint([]byte(in)); got != want {
+			t.Errorf("Fingerprint(%q) = %s, want %s", in, got, want)
+		}
+	}
+}
+
+// TestStoreOpenRejectsEmpty covers the configuration error path.
+func TestStoreOpenRejectsEmpty(t *testing.T) {
+	if _, err := store.Open(""); err == nil {
+		t.Error("Open(\"\") must fail")
+	}
+}
