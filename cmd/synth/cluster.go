@@ -1,0 +1,299 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/cluster"
+	"repro/internal/pipeline"
+	"repro/internal/store"
+)
+
+// This file is the CLI face of internal/cluster: `synth dispatch` is the
+// coordinator, `synth work` is one worker, and `synth store-gc` maintains
+// the shared store the cluster lives under. See docs/cluster.md for the
+// lifecycle and failure modes.
+
+// splitList parses a comma-separated flag value.
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+// parseLevels parses a comma-separated list of optimization level indices.
+func parseLevels(s string) ([]int, error) {
+	var out []int
+	for _, part := range splitList(s) {
+		n, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, fmt.Errorf("bad optimization level %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+// openQueue opens the job queue under a -store directory.
+func openQueue(storeDir string) (*cluster.Queue, error) {
+	if storeDir == "" {
+		return nil, fmt.Errorf("missing -store (the cluster queue lives under the shared store)")
+	}
+	st, err := store.Open(storeDir)
+	if err != nil {
+		return nil, err
+	}
+	return cluster.OpenQueue(st)
+}
+
+// cmdDispatch enumerates a suite's jobs, dedups them against the store,
+// enqueues the rest, and optionally waits for the cluster to drain.
+func cmdDispatch(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("synth dispatch", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var c commonFlags
+	addCommon(fs, &c)
+	suite := fs.String("suite", "quick", "workload suite to dispatch: tiny, quick, or full")
+	isas := fs.String("isas", "", "comma-separated target ISA grid (default: the -isa profiling ISA)")
+	levels := fs.String("levels", "", "comma-separated optimization level grid (default: the -O profiling level)")
+	wait := fs.Bool("wait", false, "block until every job is done, then print the consolidated report")
+	force := fs.Bool("force", false, "re-enqueue jobs even when their artifacts are already stored")
+	ttl := fs.Duration("lease-ttl", cluster.DefaultLeaseTTL, "lease expiry for reclaiming crashed workers' jobs (with -wait)")
+	poll := fs.Duration("poll", cluster.DefaultPoll, "queue polling interval (with -wait)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ws, err := suiteWorkloads(*suite)
+	if err != nil {
+		return err
+	}
+	names := make([]string, len(ws))
+	for i, w := range ws {
+		names[i] = w.Name
+	}
+	isaGrid := splitList(*isas)
+	if len(isaGrid) == 0 {
+		isaGrid = []string{c.isaName}
+	}
+	levelGrid, err := parseLevels(*levels)
+	if err != nil {
+		return err
+	}
+	if len(levelGrid) == 0 {
+		levelGrid = []int{c.level}
+	}
+	spec := cluster.Spec{
+		Suite:        *suite,
+		Workloads:    names,
+		ISAs:         isaGrid,
+		Levels:       levelGrid,
+		Seed:         c.seed,
+		ProfileISA:   c.isaName,
+		ProfileLevel: c.level,
+	}
+	q, err := openQueue(c.storeDir)
+	if err != nil {
+		return err
+	}
+	p, err := c.pipelineWith(q.Store())
+	if err != nil {
+		return err
+	}
+	out, err := cluster.Dispatch(ctx, q, p, spec, cluster.DispatchOptions{Force: *force})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "synth dispatch: %d jobs (%s suite, %d ISAs × %d levels): %d enqueued, %d deduped from store, %d already done, %d already queued\n",
+		out.Total, *suite, len(isaGrid), len(levelGrid),
+		out.Enqueued, out.Deduped, out.AlreadyDone, out.AlreadyQueued)
+	if !*wait {
+		return nil
+	}
+	last := cluster.Counts{Pending: -1}
+	results, err := cluster.Wait(ctx, q, cluster.WaitOptions{
+		TTL:  *ttl,
+		Poll: *poll,
+		Progress: func(c cluster.Counts, total int) {
+			if c != last {
+				fmt.Fprintf(stderr, "synth dispatch: %d/%d done, %d pending, %d leased\n",
+					c.Done, total, c.Pending, c.Leased)
+				last = c
+			}
+		},
+	})
+	if err != nil {
+		return err
+	}
+	m, err := q.Manifest()
+	if err != nil {
+		return err
+	}
+	rep := cluster.BuildReport(m, results)
+	rep.Print(stdout)
+	if rep.Failed > 0 {
+		return fmt.Errorf("%d of %d jobs failed", rep.Failed, rep.Total)
+	}
+	return nil
+}
+
+// cmdWork runs one cluster worker: lease a job, execute it through a
+// pipeline rebuilt from the dispatch manifest, ack the result, repeat
+// until the queue converges.
+func cmdWork(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("synth work", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	storeDir := fs.String("store", "", "shared artifact store directory holding the job queue")
+	workers := fs.Int("workers", 0, "in-process worker pool size (0 = GOMAXPROCS)")
+	id := fs.String("id", "", "worker ID used in leases and results (default: worker-<pid>)")
+	ttl := fs.Duration("lease-ttl", cluster.DefaultLeaseTTL, "lease expiry: heartbeat budget for this worker, reclaim horizon for others")
+	poll := fs.Duration("poll", cluster.DefaultPoll, "idle polling interval")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *id == "" {
+		*id = fmt.Sprintf("worker-%d", os.Getpid())
+	}
+	q, err := openQueue(*storeDir)
+	if err != nil {
+		return err
+	}
+	m, err := q.Manifest()
+	if err != nil {
+		return err
+	}
+	if m == nil {
+		return fmt.Errorf("nothing dispatched in %s (run \"synth dispatch\" first)", *storeDir)
+	}
+	opts, err := cluster.PipelineOptions(m.Spec)
+	if err != nil {
+		return err
+	}
+	opts.Workers = *workers
+	opts.Store = q.Store()
+	p := pipeline.New(opts)
+
+	w := &cluster.Worker{
+		Queue:    q,
+		Pipe:     p,
+		ID:       *id,
+		Dispatch: m.Spec.Digest(),
+		TTL:      *ttl,
+		Poll:     *poll,
+		OnJob: func(r cluster.Result) {
+			status := "ok"
+			if r.Err != "" {
+				status = "FAILED: " + r.Err
+			}
+			fmt.Fprintf(stderr, "synth work %s: %s (%d points) in %dms: %s\n",
+				*id, r.Job.Workload, len(r.Job.Points()), r.Millis, status)
+		},
+	}
+	sum, err := w.Run(ctx)
+	if err != nil {
+		// Interruption and errors exit nonzero with an honest summary —
+		// the queue may not be drained, and scripts trust the exit code.
+		fmt.Fprintf(stderr, "synth work %s: stopped (%v), jobs=%d failed=%d\n", *id, err, sum.Jobs, sum.Failed)
+		printStats(stderr, p)
+		return err
+	}
+	fmt.Fprintf(stderr, "synth work %s: drained, jobs=%d failed=%d\n", *id, sum.Jobs, sum.Failed)
+	printStats(stderr, p)
+	if sum.Failed > 0 {
+		return fmt.Errorf("%d jobs failed", sum.Failed)
+	}
+	return nil
+}
+
+// cmdStoreGC prunes old entries from a persistent artifact store.
+func cmdStoreGC(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("synth store-gc", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	storeDir := fs.String("store", "", "persistent artifact store directory to prune")
+	maxAge := fs.Duration("max-age", 0, "evict entries older than this (0 = no age limit)")
+	maxBytes := fs.Int64("max-bytes", 0, "evict oldest entries until the store fits this many bytes (0 = no size limit)")
+	dryRun := fs.Bool("dry-run", false, "report what would be evicted without removing anything")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *storeDir == "" {
+		return fmt.Errorf("missing -store")
+	}
+	st, err := store.Open(*storeDir)
+	if err != nil {
+		return err
+	}
+	stats, err := st.Prune(store.PruneOptions{MaxAge: *maxAge, MaxBytes: *maxBytes, DryRun: *dryRun})
+	if err != nil {
+		return err
+	}
+	mode := ""
+	if *dryRun {
+		mode = " (dry run)"
+	}
+	fmt.Fprintf(stdout, "store-gc%s: scanned %d entries (%d bytes), evicted %d (%d bytes), %d entries (%d bytes) remain\n",
+		mode, stats.Scanned, stats.ScannedBytes, stats.Removed, stats.RemovedBytes,
+		stats.Scanned-stats.Removed, stats.ScannedBytes-stats.RemovedBytes)
+	return nil
+}
+
+// clusterStatus summarizes a queue for the serve endpoint and diagnostics.
+type clusterStatus struct {
+	Suite   string         `json:"suite"`
+	Total   int            `json:"total"`
+	Pending int            `json:"pending"`
+	Leased  int            `json:"leased"`
+	Done    int            `json:"done"`
+	Failed  int            `json:"failed"`
+	Deduped int            `json:"deduped"`
+	Workers map[string]int `json:"workers"` // active leases per worker
+}
+
+// buildClusterStatus reads a queue's current shape. It returns nil (no
+// error) when nothing has been dispatched.
+func buildClusterStatus(q *cluster.Queue) (*clusterStatus, error) {
+	m, err := q.Manifest()
+	if err != nil {
+		return nil, err
+	}
+	if m == nil {
+		return nil, nil
+	}
+	counts, err := q.Counts()
+	if err != nil {
+		return nil, err
+	}
+	workers, err := q.Workers()
+	if err != nil {
+		return nil, err
+	}
+	results, err := q.Results()
+	if err != nil {
+		return nil, err
+	}
+	st := &clusterStatus{
+		Suite:   m.Spec.Suite,
+		Total:   m.Total,
+		Pending: counts.Pending,
+		Leased:  counts.Leased,
+		Done:    counts.Done,
+		Workers: workers,
+	}
+	for _, r := range results {
+		if r.Err != "" {
+			st.Failed++
+		}
+		if r.Deduped {
+			st.Deduped++
+		}
+	}
+	return st, nil
+}

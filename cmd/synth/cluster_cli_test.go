@@ -1,0 +1,234 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/pipeline"
+	"repro/internal/store"
+)
+
+// runWorker runs `synth work` in-process and reports its exit code and
+// stderr, standing in for a separate worker process (run() shares no state
+// between invocations beyond the store directory, exactly like processes).
+func runWorker(t *testing.T, dir, id string) (int, string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code := run(context.Background(), []string{"work", "-store", dir, "-id", id, "-lease-ttl", "5s", "-poll", "20ms"}, &out, &errb)
+	return code, errb.String()
+}
+
+// storeEntries maps every artifact entry under a store root (the cluster
+// queue excluded) to its bytes, for byte-identity comparison.
+func storeEntries(t *testing.T, dir string) map[string]string {
+	t.Helper()
+	entries := map[string]string{}
+	err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if d.Name() == "cluster" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		rel, err := filepath.Rel(dir, path)
+		if err != nil {
+			return err
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		entries[rel] = string(data)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return entries
+}
+
+// sumComputed totals the per-stage Computed counters over a queue's
+// recorded results.
+func sumComputed(t *testing.T, dir string) pipeline.CacheStats {
+	t.Helper()
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := cluster.OpenQueue(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := q.Results()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum pipeline.CacheStats
+	for _, r := range results {
+		if r.Err != "" {
+			t.Fatalf("job %s failed: %s", r.Job.Workload, r.Err)
+		}
+		sum = sum.Add(r.Stats)
+	}
+	return sum
+}
+
+// TestClusterShardedQuickSuite is the PR's acceptance property: three
+// `synth work` processes sharing a store complete a dispatched quick suite
+// with zero duplicated stage computations versus a single-process cold run
+// — the summed per-stage Computed counters are equal — and the two stores
+// hold byte-identical artifacts.
+func TestClusterShardedQuickSuite(t *testing.T) {
+	dispatch := func(dir string) {
+		var out, errb bytes.Buffer
+		if c := run(context.Background(), []string{"dispatch", "-suite", "quick", "-seed", "1", "-store", dir}, &out, &errb); c != 0 {
+			t.Fatalf("dispatch exited %d: %s", c, errb.String())
+		}
+	}
+
+	// Reference: one worker drains the whole suite cold.
+	solo := t.TempDir()
+	dispatch(solo)
+	if code, errOut := runWorker(t, solo, "solo"); code != 0 {
+		t.Fatalf("solo worker exited %d: %s", code, errOut)
+	}
+	soloSum := sumComputed(t, solo)
+	if soloSum.ComputedFor(pipeline.StageProfile) == 0 || soloSum.ComputedFor(pipeline.StageSynthesize) == 0 {
+		t.Fatalf("solo run computed nothing: %+v", soloSum)
+	}
+
+	// Same dispatch, three concurrent workers sharing a fresh store.
+	shared := t.TempDir()
+	dispatch(shared)
+	var wg sync.WaitGroup
+	codes := make([]int, 3)
+	errs := make([]string, 3)
+	ids := []string{"w1", "w2", "w3"}
+	for i, id := range ids {
+		wg.Add(1)
+		go func(i int, id string) {
+			defer wg.Done()
+			codes[i], errs[i] = runWorker(t, shared, id)
+		}(i, id)
+	}
+	// A dispatcher waiting on the same queue sees the drain complete.
+	var waitOut, waitErr bytes.Buffer
+	if c := run(context.Background(), []string{"dispatch", "-suite", "quick", "-seed", "1", "-store", shared, "-wait", "-poll", "20ms"}, &waitOut, &waitErr); c != 0 {
+		t.Fatalf("dispatch -wait exited %d: %s", c, waitErr.String())
+	}
+	wg.Wait()
+	for i, code := range codes {
+		if code != 0 {
+			t.Fatalf("worker %s exited %d: %s", ids[i], code, errs[i])
+		}
+	}
+	if !strings.Contains(waitOut.String(), "jobs done") {
+		t.Errorf("dispatch -wait printed no report:\n%s", waitOut.String())
+	}
+
+	// Zero duplicated computation: the shards' summed per-stage Computed
+	// equals the single-process cold run's.
+	sharedSum := sumComputed(t, shared)
+	for st := pipeline.Stage(0); int(st) < pipeline.NumStages; st++ {
+		if got, want := sharedSum.ComputedFor(st), soloSum.ComputedFor(st); got != want {
+			t.Errorf("stage %v: 3 workers computed %d artifacts, solo computed %d", st, got, want)
+		}
+	}
+
+	// Byte-identical artifacts: same entry set, same bytes.
+	soloEntries, sharedEntries := storeEntries(t, solo), storeEntries(t, shared)
+	if len(soloEntries) == 0 || len(soloEntries) != len(sharedEntries) {
+		t.Fatalf("store entry counts differ: solo %d, shared %d", len(soloEntries), len(sharedEntries))
+	}
+	for rel, data := range soloEntries {
+		if sharedEntries[rel] != data {
+			t.Errorf("store entry %s differs between solo and sharded runs", rel)
+		}
+	}
+
+	// The work was actually shared: at least two workers acked jobs.
+	st, _ := store.Open(shared)
+	q, _ := cluster.OpenQueue(st)
+	results, err := q.Results()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byWorker := map[string]int{}
+	for _, r := range results {
+		byWorker[r.Worker]++
+	}
+	if len(byWorker) < 2 {
+		t.Errorf("expected ≥2 workers to share the suite, got %v", byWorker)
+	}
+}
+
+// TestClusterLeaseReclaimAfterCrash simulates a worker that claims a job
+// and dies without heartbeating: a live worker must reclaim the expired
+// lease and finish the suite.
+func TestClusterLeaseReclaimAfterCrash(t *testing.T) {
+	dir := t.TempDir()
+	var out, errb bytes.Buffer
+	if c := run(context.Background(), []string{"dispatch", "-suite", "tiny", "-seed", "1", "-store", dir}, &out, &errb); c != 0 {
+		t.Fatalf("dispatch exited %d: %s", c, errb.String())
+	}
+
+	// The "crashed" worker: claims a job, never heartbeats, never acks.
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := cluster.OpenQueue(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crashed, err := q.Claim("crasher")
+	if err != nil || crashed == nil {
+		t.Fatalf("crasher claim: %v, %v", crashed, err)
+	}
+
+	// A live worker with a short TTL drains the rest, then reclaims the
+	// crasher's expired lease and finishes its job too.
+	var wout, werr bytes.Buffer
+	code := run(context.Background(), []string{"work", "-store", dir, "-id", "rescuer",
+		"-lease-ttl", "250ms", "-poll", "20ms"}, &wout, &werr)
+	if code != 0 {
+		t.Fatalf("rescuer exited %d: %s", code, werr.String())
+	}
+
+	m, err := q.Manifest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := q.Counts()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Done != m.Total || c.Pending != 0 || c.Leased != 0 {
+		t.Fatalf("queue did not converge after crash: %+v (total %d)", c, m.Total)
+	}
+	results, err := q.Results()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rescued := false
+	for _, r := range results {
+		if r.Err != "" {
+			t.Errorf("job %s failed: %s", r.Job.Workload, r.Err)
+		}
+		if r.Job.ID() == crashed.Job.ID() {
+			rescued = r.Worker == "rescuer"
+		}
+	}
+	if !rescued {
+		t.Error("the crashed worker's job was not re-executed by the rescuer")
+	}
+}

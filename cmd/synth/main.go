@@ -9,7 +9,10 @@
 //	synth synthesize {-workload NAME | -from PROFILE.json} [-seed N] [-report] [-validate]
 //	synth consolidate [-name NAME] [-synthesize] WORKLOAD-OR-PROFILE.json...
 //	synth experiments [-suite tiny|quick|full] [-only LIST] [-stats] [-store DIR]
-//	synth serve [-addr HOST:PORT] [-store DIR]
+//	synth dispatch -store DIR [-suite quick] [-isas LIST] [-levels LIST] [-wait] [-force]
+//	synth work -store DIR [-id NAME] [-lease-ttl D] [-workers N]
+//	synth store-gc -store DIR [-max-age D] [-max-bytes N] [-dry-run]
+//	synth serve [-addr HOST:PORT] [-store DIR] [-token SECRET]
 //	synth workloads
 //
 // `synth experiments` renders the same rows as the library API in
@@ -61,19 +64,26 @@ func addCommon(fs *flag.FlagSet, c *commonFlags) {
 }
 
 func (c *commonFlags) pipeline() (*pipeline.Pipeline, error) {
-	target := isa.ByName(c.isaName)
-	if target == nil {
-		return nil, fmt.Errorf("unknown ISA %q", c.isaName)
-	}
-	if c.level < 0 || c.level >= len(compiler.Levels) {
-		return nil, fmt.Errorf("optimization level -O%d out of range 0-%d", c.level, len(compiler.Levels)-1)
-	}
 	var st *store.Store
 	if c.storeDir != "" {
 		var err error
 		if st, err = store.Open(c.storeDir); err != nil {
 			return nil, err
 		}
+	}
+	return c.pipelineWith(st)
+}
+
+// pipelineWith builds the pipeline over an already-opened store (nil =
+// memory-only), for commands that also hold the store's cluster queue and
+// must share one Store instance between both.
+func (c *commonFlags) pipelineWith(st *store.Store) (*pipeline.Pipeline, error) {
+	target := isa.ByName(c.isaName)
+	if target == nil {
+		return nil, fmt.Errorf("unknown ISA %q", c.isaName)
+	}
+	if c.level < 0 || c.level >= len(compiler.Levels) {
+		return nil, fmt.Errorf("optimization level -O%d out of range 0-%d", c.level, len(compiler.Levels)-1)
 	}
 	return pipeline.New(pipeline.Options{
 		Workers:      c.workers,
@@ -116,6 +126,12 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		err = cmdConsolidate(ctx, args[1:], stdout, stderr)
 	case "experiments":
 		err = cmdExperiments(ctx, args[1:], stdout, stderr)
+	case "dispatch":
+		err = cmdDispatch(ctx, args[1:], stdout, stderr)
+	case "work":
+		err = cmdWork(ctx, args[1:], stdout, stderr)
+	case "store-gc":
+		err = cmdStoreGC(ctx, args[1:], stdout, stderr)
 	case "serve":
 		err = cmdServe(ctx, args[1:], stdout, stderr)
 	case "workloads":
@@ -146,11 +162,15 @@ Commands:
   synthesize   synthesize a clone (from a workload or -from a saved profile)
   consolidate  merge several profiles into one consolidated proxy profile
   experiments  regenerate the paper's tables and figures
+  dispatch     enqueue a suite's jobs into a shared store's cluster queue
+  work         run one cluster worker: lease, execute, ack until drained
+  store-gc     evict old entries from a persistent artifact store
   serve        expose profile/synthesize/experiments as an HTTP service
   workloads    list available workload/input pairs
 
 Common flags: -workers N  -seed N  -isa NAME  -O N  -store DIR
-Run "synth <command> -h" for command-specific flags; see docs/cli.md.
+Run "synth <command> -h" for command-specific flags; see docs/cli.md and
+docs/cluster.md.
 `)
 }
 

@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"context"
+	"crypto/subtle"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -13,8 +14,10 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/pipeline"
@@ -27,28 +30,145 @@ import (
 // concurrent clients coalesce onto single computations and a populated
 // store (or a warm process) answers without recomputing anything. The
 // response bytes for profiles and clone sources are exactly what the
-// library API and the CLI produce.
+// library API and the CLI produce. Expensive endpoints sit behind a
+// bounded admission queue (429 beyond it), and with a token configured
+// every /api/v1 route requires bearer authentication.
 type server struct {
-	p *pipeline.Pipeline
-	r *experiments.Runner
+	p    *pipeline.Pipeline
+	r    *experiments.Runner
+	opts serverOptions
+	lim  *limiter
+}
+
+// serverOptions configures the HTTP layer around the shared pipeline.
+type serverOptions struct {
+	// token, when non-empty, is the shared secret every /api/v1 request
+	// must present as "Authorization: Bearer <token>".
+	token string
+	// maxInflight bounds concurrently executing expensive requests
+	// (0 = 2× the pipeline's worker count); maxQueue bounds how many more
+	// may wait for a slot before requests are shed with 429. maxQueue 0
+	// means shed immediately whenever every slot is busy — it is a real
+	// setting, not a sentinel.
+	maxInflight int
+	maxQueue    int
+	// queue, when non-nil, exposes the store's cluster job queue on
+	// /api/v1/cluster/status.
+	queue *cluster.Queue
 }
 
 // newServer wraps a pipeline for HTTP serving.
-func newServer(p *pipeline.Pipeline) *server {
-	return &server{p: p, r: experiments.NewRunner(p)}
+func newServer(p *pipeline.Pipeline, opts serverOptions) *server {
+	if opts.maxInflight <= 0 {
+		opts.maxInflight = 2 * p.Workers()
+	}
+	if opts.maxQueue < 0 {
+		opts.maxQueue = 0
+	}
+	return &server{
+		p:    p,
+		r:    experiments.NewRunner(p),
+		opts: opts,
+		lim:  newLimiter(opts.maxInflight, opts.maxQueue),
+	}
 }
 
-// handler builds the service's route table.
+// handler builds the service's route table: cheap introspection endpoints
+// are direct, expensive pipeline endpoints go through the admission
+// limiter, and the whole API sits behind the auth check.
 func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/api/v1/workloads", s.handleWorkloads)
-	mux.HandleFunc("/api/v1/profile", s.handleProfile)
-	mux.HandleFunc("/api/v1/synthesize", s.handleSynthesize)
-	mux.HandleFunc("/api/v1/consolidate", s.handleConsolidate)
-	mux.HandleFunc("/api/v1/experiments", s.handleExperiments)
+	mux.HandleFunc("/api/v1/profile", s.limited(s.handleProfile))
+	mux.HandleFunc("/api/v1/synthesize", s.limited(s.handleSynthesize))
+	mux.HandleFunc("/api/v1/consolidate", s.limited(s.handleConsolidate))
+	mux.HandleFunc("/api/v1/experiments", s.limited(s.handleExperiments))
+	mux.HandleFunc("/api/v1/batch/synthesize", s.limited(s.handleBatchSynthesize))
+	mux.HandleFunc("/api/v1/cluster/status", s.handleClusterStatus)
 	mux.HandleFunc("/api/v1/stats", s.handleStats)
-	return mux
+	return s.authenticated(mux)
+}
+
+// authenticated enforces the shared-secret token on every route except the
+// liveness probe. Comparison is constant-time; a missing or wrong token is
+// 401 with a WWW-Authenticate challenge.
+func (s *server) authenticated(h http.Handler) http.Handler {
+	if s.opts.token == "" {
+		return h
+	}
+	want := []byte("Bearer " + s.opts.token)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/healthz" {
+			h.ServeHTTP(w, r)
+			return
+		}
+		got := []byte(r.Header.Get("Authorization"))
+		if len(got) != len(want) || subtle.ConstantTimeCompare(got, want) != 1 {
+			w.Header().Set("WWW-Authenticate", `Bearer realm="synth"`)
+			httpError(w, http.StatusUnauthorized, "missing or invalid bearer token")
+			return
+		}
+		h.ServeHTTP(w, r)
+	})
+}
+
+// limiter is the expensive-endpoint admission control: maxInflight
+// requests execute, up to maxQueue more wait for a slot, and everything
+// beyond that is shed immediately with 429 — bounded queueing instead of
+// unbounded goroutine pile-up when simulation farms drive the service
+// harder than the pipeline can absorb.
+type limiter struct {
+	slots    chan struct{}
+	queued   atomic.Int64
+	maxQueue int64
+}
+
+// newLimiter builds a limiter with the given execution and queue bounds.
+func newLimiter(inflight, queue int) *limiter {
+	return &limiter{slots: make(chan struct{}, inflight), maxQueue: int64(queue)}
+}
+
+// acquire takes an execution slot, waiting in the bounded queue if
+// necessary. It reports false when the queue is full (shed the request) or
+// the request was canceled while waiting.
+func (l *limiter) acquire(ctx context.Context) bool {
+	select {
+	case l.slots <- struct{}{}:
+		return true
+	default:
+	}
+	if l.queued.Add(1) > l.maxQueue {
+		l.queued.Add(-1)
+		return false
+	}
+	defer l.queued.Add(-1)
+	select {
+	case l.slots <- struct{}{}:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// release returns an execution slot.
+func (l *limiter) release() { <-l.slots }
+
+// limited wraps an expensive handler in the admission limiter.
+func (s *server) limited(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if !s.lim.acquire(r.Context()) {
+			if r.Context().Err() != nil {
+				return // client gone; nothing useful to write
+			}
+			w.Header().Set("Retry-After", "1")
+			httpError(w, http.StatusTooManyRequests, "request queue full (%d executing, %d queued); retry later",
+				cap(s.lim.slots), s.lim.maxQueue)
+			return
+		}
+		defer s.lim.release()
+		h(w, r)
+	}
 }
 
 // httpError renders an error as a JSON body with the given status.
@@ -269,10 +389,134 @@ func (s *server) handleExperiments(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// batchRequest is the POST body of /api/v1/batch/synthesize: an explicit
+// workload list, a suite name, or both (the union, deduplicated).
+type batchRequest struct {
+	Workloads []string `json:"workloads"`
+	Suite     string   `json:"suite"`
+}
+
+// batchItem is one workload's outcome in a batch response. Failures are
+// per-item — one broken workload does not void the rest of the batch.
+type batchItem struct {
+	Workload string       `json:"workload"`
+	Report   *core.Report `json:"report,omitempty"`
+	Source   string       `json:"source,omitempty"`
+	Error    string       `json:"error,omitempty"`
+}
+
+// batchResponse is the envelope of a batch synthesize call.
+type batchResponse struct {
+	Seed    int64       `json:"seed"`
+	Results []batchItem `json:"results"`
+	Failed  int         `json:"failed"`
+}
+
+// handleBatchSynthesize synthesizes many clones in one request, fanned out
+// on the shared pipeline's worker pool. Each source in the response is
+// byte-identical to the single-workload endpoint's; item order follows the
+// request. The whole batch occupies one admission slot, so a farm driving
+// batches cannot starve interactive requests any worse than one request
+// can.
+func (s *server) handleBatchSynthesize(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		httpError(w, http.StatusMethodNotAllowed, "POST a JSON body {workloads:[...]} or {suite:\"quick\"}")
+		return
+	}
+	// A batch body is a list of names; a megabyte is already generous.
+	// Without the cap, one oversized POST would buffer unbounded memory
+	// while holding a single admission slot.
+	var req batchRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad batch body: %v", err)
+		return
+	}
+	names := append([]string(nil), req.Workloads...)
+	if req.Suite != "" {
+		ws, err := suiteWorkloads(req.Suite)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		for _, wl := range ws {
+			names = append(names, wl.Name)
+		}
+	}
+	seen := map[string]bool{}
+	var wls []*workloads.Workload
+	for _, n := range names {
+		if seen[n] {
+			continue
+		}
+		seen[n] = true
+		wl := workloads.ByName(n)
+		if wl == nil {
+			httpError(w, http.StatusNotFound, "unknown workload %q", n)
+			return
+		}
+		wls = append(wls, wl)
+	}
+	if len(wls) == 0 {
+		httpError(w, http.StatusBadRequest, "empty batch: name workloads or a suite")
+		return
+	}
+	// Failures are captured per item, never returned, so Map cannot cancel
+	// the batch's siblings.
+	items, _ := pipeline.Map(r.Context(), s.p, wls,
+		func(ctx context.Context, wl *workloads.Workload) (batchItem, error) {
+			cl, err := s.p.Synthesize(ctx, wl)
+			if err != nil {
+				return batchItem{Workload: wl.Name, Error: err.Error()}, nil
+			}
+			rep := cl.Report
+			return batchItem{Workload: wl.Name, Report: &rep, Source: cl.Source}, nil
+		})
+	resp := batchResponse{Seed: s.p.Seed(), Results: items}
+	for _, it := range items {
+		if it.Error != "" {
+			resp.Failed++
+		}
+	}
+	if err := r.Context().Err(); err != nil {
+		return // client gone mid-batch
+	}
+	writeJSON(w, resp)
+}
+
+// handleClusterStatus reports the store's cluster job queue: totals,
+// per-state counts, and active workers. 404 without a store or before any
+// dispatch.
+func (s *server) handleClusterStatus(w http.ResponseWriter, r *http.Request) {
+	if s.opts.queue == nil {
+		httpError(w, http.StatusNotFound, "no cluster queue (serve started without -store)")
+		return
+	}
+	st, err := buildClusterStatus(s.opts.queue)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	if st == nil {
+		httpError(w, http.StatusNotFound, "nothing dispatched (run \"synth dispatch -store ...\")")
+		return
+	}
+	writeJSON(w, st)
+}
+
+// snapshotStats is the single accessor every handler reads cache
+// statistics through. The snapshot is taken once per request from the
+// pipeline's atomic counters; handlers must not cache or re-derive it, so
+// concurrent stats reads racing batch work always see a coherent
+// (point-in-time, monotone) view.
+func (s *server) snapshotStats() pipeline.CacheStats {
+	return s.p.CacheStats()
+}
+
 // handleStats reports the shared pipeline's artifact-cache statistics.
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, map[string]any{
-		"cache":   s.p.CacheStats(),
+		"cache":   s.snapshotStats(),
 		"workers": s.p.Workers(),
 		"seed":    s.p.Seed(),
 	})
@@ -285,17 +529,37 @@ func cmdServe(ctx context.Context, args []string, stdout, stderr io.Writer) erro
 	var c commonFlags
 	addCommon(fs, &c)
 	addr := fs.String("addr", "localhost:8091", "listen address")
+	token := fs.String("token", "", "shared-secret bearer token required on every /api/v1 request (empty = unauthenticated)")
+	maxInflight := fs.Int("max-inflight", 0, "concurrently executing expensive requests (0 = 2x worker pool)")
+	maxQueue := fs.Int("max-queue", 64, "requests allowed to wait for a slot before 429s are shed (0 = shed immediately when all slots are busy)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	p, err := c.pipeline()
+	opts := serverOptions{token: *token, maxInflight: *maxInflight, maxQueue: *maxQueue}
+	var (
+		p   *pipeline.Pipeline
+		err error
+	)
+	if c.storeDir != "" {
+		if opts.queue, err = openQueue(c.storeDir); err != nil {
+			return err
+		}
+		p, err = c.pipelineWith(opts.queue.Store())
+	} else {
+		p, err = c.pipeline()
+	}
 	if err != nil {
 		return err
 	}
 	srv := &http.Server{
 		Addr:        *addr,
-		Handler:     newServer(p).handler(),
+		Handler:     newServer(p, opts).handler(),
 		BaseContext: func(net.Listener) context.Context { return ctx },
+		// The admission limiter only bounds handler execution; connections
+		// that never finish their headers would each pin a goroutine
+		// forever without these.
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
 	}
 	done := make(chan struct{})
 	go func() {

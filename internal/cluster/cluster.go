@@ -1,0 +1,124 @@
+// Package cluster shards the workload × ISA × optimization-level cross
+// product across multiple cooperating processes that share one artifact
+// store. A coordinator enumerates jobs from a suite spec, deduplicates them
+// against already-stored artifacts, and enqueues the rest into a durable
+// job queue persisted under the store; workers lease jobs, execute them
+// through a pipeline, heartbeat while working, and acknowledge results; a
+// consolidator merges per-shard cache statistics into one cluster report.
+//
+// The queue is plain files under <store root>/cluster, following the store
+// package's conventions: every write is a temp file + atomic rename, and
+// every state transition is a rename, so concurrent processes — however
+// they are scheduled or killed — never observe a partial entry and never
+// both win the same job. A worker that crashes mid-job stops heartbeating;
+// its lease expires and any other participant renames the job back to
+// pending, so the shard is re-leased, not lost.
+//
+// Jobs are sharded on the workload axis: one job covers every (ISA, level)
+// point of one workload. This granularity is deliberate — every pipeline
+// cache key is workload-scoped (see pipeline.Key), so jobs of different
+// workloads share no artifacts, and lease exclusivity alone guarantees that
+// N workers draining a queue duplicate zero stage computations versus a
+// single cold process, without any cross-process locking.
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"strings"
+)
+
+// SchemaVersion is the queue's on-disk schema. Manifests written under a
+// different version are rejected, so mixed-binary fleets fail loudly
+// instead of corrupting each other's queues.
+const SchemaVersion = 1
+
+// Spec declares one dispatch: which workloads to synthesize, over which
+// (ISA, level) grid, and the pipeline options that shape the artifacts.
+// Workers rebuild their pipeline from the manifest's Spec, so every
+// participant derives identical cache keys by construction.
+type Spec struct {
+	// Suite names the workload suite the spec was built from (tiny, quick,
+	// full); informational — Workloads is authoritative.
+	Suite string `json:"suite"`
+	// Workloads lists the workload/input pairs to clone, one job each.
+	Workloads []string `json:"workloads"`
+	// ISAs and Levels define the per-workload compilation grid.
+	ISAs   []string `json:"isas"`
+	Levels []int    `json:"levels"`
+	// Seed, TargetDyn, and MaxInstrs mirror the pipeline options of the
+	// same names.
+	Seed      int64  `json:"seed"`
+	TargetDyn uint64 `json:"targetDyn"`
+	MaxInstrs uint64 `json:"maxInstrs"`
+	// ProfileISA and ProfileLevel fix the profiling point.
+	ProfileISA   string `json:"profileIsa"`
+	ProfileLevel int    `json:"profileLevel"`
+}
+
+// Canonical returns the versioned, unambiguous encoding of the spec. Two
+// dispatches with equal canonicals are the same dispatch; a manifest whose
+// canonical differs from a new dispatch's marks a conflicting queue.
+func (s Spec) Canonical() string {
+	return fmt.Sprintf("v1|%s|%s|%s|%s|%d|%d|%d|%s|%d",
+		s.Suite, strings.Join(s.Workloads, ","), strings.Join(s.ISAs, ","),
+		joinInts(s.Levels), s.Seed, s.TargetDyn, s.MaxInstrs,
+		s.ProfileISA, s.ProfileLevel)
+}
+
+// Digest returns the spec's dispatch identity — the digest of its
+// canonical encoding. Every job carries it (Job.Dispatch), and workers
+// compare it against the manifest they built their pipeline from, so a
+// queue re-dispatched under a worker's feet aborts the worker instead of
+// executing foreign jobs with stale options.
+func (s Spec) Digest() string {
+	return digestOf(s.Canonical())
+}
+
+// Jobs enumerates the spec's job list: one job per workload carrying the
+// full (ISA, level) grid (see the package comment for why sharding is
+// per-workload).
+func (s Spec) Jobs() []Job {
+	specDigest := s.Digest()
+	jobs := make([]Job, 0, len(s.Workloads))
+	for _, w := range s.Workloads {
+		jobs = append(jobs, Job{
+			Workload: w,
+			ISAs:     s.ISAs,
+			Levels:   s.Levels,
+			Dispatch: specDigest,
+		})
+	}
+	return jobs
+}
+
+// Manifest is the queue's root document, written by the coordinator and
+// read by every worker: the dispatch spec, its canonical encoding, and the
+// total job count that Wait and status reporting converge on.
+type Manifest struct {
+	// Version is the queue schema the manifest was written under.
+	Version int `json:"version"`
+	// Spec is the dispatch being executed.
+	Spec Spec `json:"spec"`
+	// Canonical is Spec.Canonical(), stored for cheap conflict checks.
+	Canonical string `json:"canonical"`
+	// Total is the number of jobs the dispatch enumerated.
+	Total int `json:"total"`
+}
+
+// digestOf returns the printable 64-bit FNV-1a hash of s, the queue's file
+// naming scheme (mirroring pipeline.Key.Digest).
+func digestOf(s string) string {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// joinInts renders ints comma-separated.
+func joinInts(xs []int) string {
+	parts := make([]string, len(xs))
+	for i, x := range xs {
+		parts[i] = fmt.Sprint(x)
+	}
+	return strings.Join(parts, ",")
+}

@@ -1,0 +1,252 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/compiler"
+	"repro/internal/isa"
+	"repro/internal/pipeline"
+	"repro/internal/workloads"
+)
+
+// DispatchOptions tunes a Dispatch call.
+type DispatchOptions struct {
+	// Force re-enqueues every job even if its artifacts are already stored
+	// or it has already completed. The store still serves warm artifacts,
+	// so forced jobs recompute nothing — CI's warm verification pass uses
+	// exactly this to assert zero recomputation through the worker path.
+	Force bool
+}
+
+// DispatchOutcome summarizes what a Dispatch call did with each job.
+type DispatchOutcome struct {
+	// Total is the number of jobs the spec enumerated.
+	Total int
+	// Enqueued jobs await a worker.
+	Enqueued int
+	// Deduped jobs were satisfied entirely from the store — every artifact
+	// the job would compute already exists — and went straight to done.
+	Deduped int
+	// AlreadyDone jobs had a recorded result from an earlier identical
+	// dispatch; AlreadyQueued jobs were still pending or leased.
+	AlreadyDone   int
+	AlreadyQueued int
+}
+
+// Dispatch validates spec, installs it as the queue's manifest, and
+// enqueues its jobs. Jobs whose artifacts all exist in the store are
+// deduplicated: they go straight to the done state (marked Deduped) without
+// a worker ever seeing them, using the same pipeline.Key.Digest addressing
+// the cache tiers use. Re-dispatching an identical spec is an idempotent
+// top-up; dispatching a different spec over a queue with unfinished jobs is
+// an error, and over a drained queue resets it.
+func Dispatch(ctx context.Context, q *Queue, p *pipeline.Pipeline, spec Spec, opts DispatchOptions) (DispatchOutcome, error) {
+	var out DispatchOutcome
+	if err := validateSpec(spec); err != nil {
+		return out, err
+	}
+	jobs := spec.Jobs()
+	out.Total = len(jobs)
+
+	existing, err := q.Manifest()
+	if err != nil {
+		return out, err
+	}
+	if existing != nil && existing.Canonical != spec.Canonical() {
+		// Count only jobs that are genuinely still in flight: a stale
+		// pending or leased copy of a done job (an ack that raced a
+		// reclaim) must not hold the queue hostage forever.
+		active, err := q.activeJobs()
+		if err != nil {
+			return out, err
+		}
+		if active > 0 {
+			return out, fmt.Errorf("cluster: queue is busy with a different dispatch (%d jobs in flight); drain it or use a fresh store", active)
+		}
+		if err := q.Reset(); err != nil {
+			return out, err
+		}
+	}
+	if err := q.WriteManifest(&Manifest{
+		Version:   SchemaVersion,
+		Spec:      spec,
+		Canonical: spec.Canonical(),
+		Total:     len(jobs),
+	}); err != nil {
+		return out, err
+	}
+
+	for _, j := range jobs {
+		if err := ctx.Err(); err != nil {
+			return out, err
+		}
+		if opts.Force {
+			os.Remove(q.donePath(j.ID()))
+		} else {
+			if q.HasResult(j.ID()) {
+				// Clear any stale pending copy (left by an earlier
+				// no-worker dispatch or a reclaim race) so the done job
+				// cannot keep the queue counting as busy.
+				os.Remove(q.pendingPath(j.ID()))
+				out.AlreadyDone++
+				continue
+			}
+			if jobStored(q, p, j) {
+				if err := q.WriteResult(Result{Job: j, Worker: "dispatch", Deduped: true}); err != nil {
+					return out, err
+				}
+				os.Remove(q.pendingPath(j.ID()))
+				out.Deduped++
+				continue
+			}
+		}
+		enqueued, err := q.Enqueue(j)
+		if err != nil {
+			return out, err
+		}
+		if enqueued {
+			out.Enqueued++
+		} else {
+			out.AlreadyQueued++
+		}
+	}
+	return out, nil
+}
+
+// validateSpec resolves every name in the spec, so a bad dispatch fails
+// before anything is enqueued rather than as N failed jobs.
+func validateSpec(spec Spec) error {
+	if len(spec.Workloads) == 0 {
+		return fmt.Errorf("cluster: dispatch: no workloads")
+	}
+	if len(spec.ISAs) == 0 || len(spec.Levels) == 0 {
+		return fmt.Errorf("cluster: dispatch: empty ISA or level grid")
+	}
+	for _, w := range spec.Workloads {
+		if workloads.ByName(w) == nil {
+			return fmt.Errorf("cluster: dispatch: unknown workload %q", w)
+		}
+	}
+	for _, name := range append([]string{spec.ProfileISA}, spec.ISAs...) {
+		if isa.ByName(name) == nil {
+			return fmt.Errorf("cluster: dispatch: unknown ISA %q", name)
+		}
+	}
+	for _, l := range append([]int{spec.ProfileLevel}, spec.Levels...) {
+		if l < 0 || l >= len(compiler.Levels) {
+			return fmt.Errorf("cluster: dispatch: optimization level %d out of range 0-%d", l, len(compiler.Levels)-1)
+		}
+	}
+	return nil
+}
+
+// jobStored reports whether every artifact the job would persist already
+// exists in the queue's store.
+func jobStored(q *Queue, p *pipeline.Pipeline, j Job) bool {
+	w := workloads.ByName(j.Workload)
+	if w == nil {
+		return false
+	}
+	st := q.Store()
+	for _, pt := range j.Points() {
+		target := isa.ByName(pt.ISA)
+		if target == nil {
+			return false
+		}
+		for _, k := range p.PairKeys(w, target, compiler.Levels[pt.Level]) {
+			if !st.Has(k.Digest(), k.StoreKind(), k.Canonical()) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// WaitOptions tunes a Wait call.
+type WaitOptions struct {
+	// TTL is the lease expiry used while reclaiming stalled jobs
+	// (0 = DefaultLeaseTTL).
+	TTL time.Duration
+	// Poll is the queue polling interval (0 = DefaultPoll).
+	Poll time.Duration
+	// Progress, when non-nil, is called with the queue counts after every
+	// poll.
+	Progress func(Counts, int)
+}
+
+// Default lease and polling intervals shared by Wait, Worker, and the CLI.
+const (
+	DefaultLeaseTTL = time.Minute
+	DefaultPoll     = 250 * time.Millisecond
+)
+
+// The stall horizon: how long Wait and Worker.Run tolerate an impossible
+// queue state — nothing pending, nothing leased, yet fewer done than the
+// manifest total — before declaring the queue stalled. The horizon is the
+// lease TTL: a job mid-rename sits in "neither state" for microseconds,
+// and a dispatch still dedup-probing a large warm store enqueues its first
+// job well within the TTL (the same trust horizon the whole protocol
+// grants a silent participant). A shortfall persisting past it means jobs
+// were lost — an interrupted dispatch — and re-running the same dispatch
+// re-enqueues them.
+
+// errStalled diagnoses a queue whose jobs cannot all arrive.
+func errStalled(done, total int) error {
+	return fmt.Errorf("cluster: queue stalled at %d/%d jobs with nothing pending or leased (dispatch interrupted before enqueueing everything?); re-run the same dispatch to top it up", done, total)
+}
+
+// Wait blocks until every dispatched job reaches the done state,
+// reclaiming expired leases while it waits so a crashed worker's jobs are
+// re-leased even if no other worker is around to notice. It returns the
+// final results. A queue that cannot converge — fewer jobs exist than the
+// manifest total, the residue of an interrupted dispatch — is reported as
+// an error instead of polling forever.
+func Wait(ctx context.Context, q *Queue, opts WaitOptions) ([]Result, error) {
+	m, err := q.Manifest()
+	if err != nil {
+		return nil, err
+	}
+	if m == nil {
+		return nil, fmt.Errorf("cluster: wait: nothing dispatched")
+	}
+	ttl, poll := opts.TTL, opts.Poll
+	if ttl <= 0 {
+		ttl = DefaultLeaseTTL
+	}
+	if poll <= 0 {
+		poll = DefaultPoll
+	}
+	var stalledSince time.Time
+	for {
+		c, err := q.Counts()
+		if err != nil {
+			return nil, err
+		}
+		if opts.Progress != nil {
+			opts.Progress(c, m.Total)
+		}
+		if c.Done >= m.Total {
+			return q.Results()
+		}
+		if c.Pending == 0 && c.Leased == 0 {
+			if stalledSince.IsZero() {
+				stalledSince = time.Now()
+			} else if time.Since(stalledSince) >= ttl {
+				return nil, errStalled(c.Done, m.Total)
+			}
+		} else {
+			stalledSince = time.Time{}
+		}
+		if _, err := q.Reclaim(ttl); err != nil {
+			return nil, err
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(poll):
+		}
+	}
+}

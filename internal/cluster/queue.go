@@ -1,0 +1,439 @@
+package cluster
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/store"
+)
+
+// Queue is the durable job queue persisted under one artifact store. A job
+// is exactly one file in exactly one state directory:
+//
+//	<store root>/cluster/
+//	    manifest.json            the dispatch being executed
+//	    pending/<id>.json        enqueued, unowned
+//	    leased/<id>@<worker>.json  owned; mtime is the last heartbeat
+//	    done/<id>.json           finished (a Result envelope)
+//
+// Every state transition is a single atomic rename, so exactly one claimer
+// wins a pending job and a reader never sees a partial entry. A Queue is
+// safe for concurrent use by any number of processes sharing the store
+// directory.
+type Queue struct {
+	st   *store.Store
+	root string
+}
+
+// queue directory and file names.
+const (
+	queueDir     = "cluster"
+	pendingDir   = "pending"
+	leasedDir    = "leased"
+	doneDir      = "done"
+	manifestFile = "manifest.json"
+)
+
+// OpenQueue creates (if needed) and returns the job queue under st's root.
+func OpenQueue(st *store.Store) (*Queue, error) {
+	root := filepath.Join(st.Root(), queueDir)
+	for _, d := range []string{pendingDir, leasedDir, doneDir} {
+		if err := os.MkdirAll(filepath.Join(root, d), 0o755); err != nil {
+			return nil, fmt.Errorf("cluster: open queue: %w", err)
+		}
+	}
+	return &Queue{st: st, root: root}, nil
+}
+
+// Store returns the artifact store the queue lives under.
+func (q *Queue) Store() *store.Store { return q.st }
+
+// writeJSON marshals v and writes it atomically to path, via the store
+// package's shared temp+rename convention.
+func writeJSON(path string, v any) error {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	return store.WriteFileAtomic(path, data)
+}
+
+// readJSON unmarshals path into v.
+func readJSON(path string, v any) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	return json.Unmarshal(data, v)
+}
+
+// WriteManifest installs m as the queue's dispatch document.
+func (q *Queue) WriteManifest(m *Manifest) error {
+	if err := writeJSON(filepath.Join(q.root, manifestFile), m); err != nil {
+		return fmt.Errorf("cluster: write manifest: %w", err)
+	}
+	return nil
+}
+
+// Manifest returns the queue's dispatch document, or nil if nothing has
+// been dispatched. A manifest written under a different schema version is
+// an error, not a silent mismatch.
+func (q *Queue) Manifest() (*Manifest, error) {
+	var m Manifest
+	err := readJSON(filepath.Join(q.root, manifestFile), &m)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("cluster: read manifest: %w", err)
+	}
+	if m.Version != SchemaVersion {
+		return nil, fmt.Errorf("cluster: manifest schema %d, want %d (mixed binaries?)", m.Version, SchemaVersion)
+	}
+	return &m, nil
+}
+
+// Reset removes every queued job and result, preparing the queue for a
+// dispatch with a different spec. The manifest itself is left for the
+// caller to overwrite.
+func (q *Queue) Reset() error {
+	for _, d := range []string{pendingDir, leasedDir, doneDir} {
+		dir := filepath.Join(q.root, d)
+		names, err := os.ReadDir(dir)
+		if err != nil {
+			return fmt.Errorf("cluster: reset: %w", err)
+		}
+		for _, n := range names {
+			if err := os.Remove(filepath.Join(dir, n.Name())); err != nil && !os.IsNotExist(err) {
+				return fmt.Errorf("cluster: reset: %w", err)
+			}
+		}
+	}
+	return nil
+}
+
+// pendingPath maps a job ID to its pending-state file.
+func (q *Queue) pendingPath(id string) string {
+	return filepath.Join(q.root, pendingDir, id+".json")
+}
+
+// donePath maps a job ID to its done-state file.
+func (q *Queue) donePath(id string) string {
+	return filepath.Join(q.root, doneDir, id+".json")
+}
+
+// leasedPath maps a job ID and worker to the lease file encoding both.
+func (q *Queue) leasedPath(id, worker string) string {
+	return filepath.Join(q.root, leasedDir, id+"@"+sanitizeWorker(worker)+".json")
+}
+
+// sanitizeWorker restricts a worker ID to filename-safe characters, since
+// the ID is encoded in lease file names.
+func sanitizeWorker(worker string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '.', r == '_', r == '-':
+			return r
+		}
+		return '-'
+	}, worker)
+}
+
+// Enqueue adds j to the pending state unless the job already exists in any
+// state. It reports whether the job was actually enqueued. Concurrent
+// enqueues of the same job are harmless: both write identical content.
+func (q *Queue) Enqueue(j Job) (bool, error) {
+	id := j.ID()
+	if q.HasResult(id) {
+		return false, nil
+	}
+	if leases, err := q.leases(); err != nil {
+		return false, err
+	} else if _, leased := leases[id]; leased {
+		return false, nil
+	}
+	if _, err := os.Stat(q.pendingPath(id)); err == nil {
+		return false, nil
+	}
+	if err := writeJSON(q.pendingPath(id), j); err != nil {
+		return false, fmt.Errorf("cluster: enqueue %s: %w", j.Workload, err)
+	}
+	return true, nil
+}
+
+// HasResult reports whether the job has reached the done state.
+func (q *Queue) HasResult(id string) bool {
+	_, err := os.Stat(q.donePath(id))
+	return err == nil
+}
+
+// WriteResult records r in the done state, atomically replacing any
+// earlier result for the same job (last writer wins; see Lease.Ack for why
+// duplicates are benign).
+func (q *Queue) WriteResult(r Result) error {
+	if err := writeJSON(q.donePath(r.Job.ID()), r); err != nil {
+		return fmt.Errorf("cluster: write result %s: %w", r.Job.Workload, err)
+	}
+	return nil
+}
+
+// Results returns every recorded result, sorted by workload name.
+func (q *Queue) Results() ([]Result, error) {
+	dir := filepath.Join(q.root, doneDir)
+	names, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: results: %w", err)
+	}
+	var out []Result
+	for _, n := range names {
+		if filepath.Ext(n.Name()) != ".json" || n.Name()[0] == '.' {
+			continue
+		}
+		var r Result
+		if err := readJSON(filepath.Join(dir, n.Name()), &r); err != nil {
+			continue // mid-rename or damaged: the next poll sees it
+		}
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Job.Workload < out[j].Job.Workload })
+	return out, nil
+}
+
+// Counts summarizes the queue's states for progress tracking.
+type Counts struct {
+	// Pending, Leased, and Done count jobs per state.
+	Pending int `json:"pending"`
+	Leased  int `json:"leased"`
+	Done    int `json:"done"`
+}
+
+// Counts returns the queue's current state populations. The three reads
+// are not one atomic snapshot — a job mid-transition can be counted in
+// neither state — so callers polling for completion must check Done against
+// the manifest total rather than Pending+Leased reaching zero.
+func (q *Queue) Counts() (Counts, error) {
+	var c Counts
+	for _, d := range []struct {
+		dir string
+		n   *int
+	}{{pendingDir, &c.Pending}, {leasedDir, &c.Leased}, {doneDir, &c.Done}} {
+		names, err := os.ReadDir(filepath.Join(q.root, d.dir))
+		if err != nil {
+			return c, fmt.Errorf("cluster: counts: %w", err)
+		}
+		for _, n := range names {
+			if filepath.Ext(n.Name()) == ".json" && n.Name()[0] != '.' {
+				*d.n++
+			}
+		}
+	}
+	return c, nil
+}
+
+// activeJobs counts the pending and leased jobs that have not reached the
+// done state, removing stale pending copies of done jobs as it goes (the
+// residue of an ack that raced a reclaim). Raw Counts would report such
+// residue as live work; the dispatch conflict check needs the truth.
+func (q *Queue) activeJobs() (active int, err error) {
+	names, err := os.ReadDir(filepath.Join(q.root, pendingDir))
+	if err != nil {
+		return 0, fmt.Errorf("cluster: active jobs: %w", err)
+	}
+	for _, n := range names {
+		name := n.Name()
+		if filepath.Ext(name) != ".json" || name[0] == '.' {
+			continue
+		}
+		if id := strings.TrimSuffix(name, ".json"); q.HasResult(id) {
+			os.Remove(q.pendingPath(id))
+			continue
+		}
+		active++
+	}
+	leases, err := q.leases()
+	if err != nil {
+		return 0, err
+	}
+	for id := range leases {
+		if !q.HasResult(id) { // done-but-unremoved leases are Reclaim's job
+			active++
+		}
+	}
+	return active, nil
+}
+
+// Claim attempts to take ownership of one pending job for worker. It
+// returns (nil, nil) when nothing is pending. Ownership is won by renaming
+// the pending file into the leased state: exactly one concurrent claimer's
+// rename succeeds, the rest see ENOENT and move to the next candidate. The
+// job is read and the heartbeat clock started *before* the rename — rename
+// preserves mtime — so the new lease is born fresh, never momentarily
+// expired (a pending file's own mtime may be older than the TTL on a
+// slow-draining queue), and a lost race costs nothing.
+func (q *Queue) Claim(worker string) (*Lease, error) {
+	dir := filepath.Join(q.root, pendingDir)
+	names, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: claim: %w", err)
+	}
+	for _, n := range names {
+		name := n.Name()
+		if filepath.Ext(name) != ".json" || name[0] == '.' {
+			continue
+		}
+		id := strings.TrimSuffix(name, ".json")
+		pendingPath := filepath.Join(dir, name)
+		var j Job
+		if err := readJSON(pendingPath, &j); err != nil {
+			continue // another worker claimed it between ReadDir and here
+		}
+		now := time.Now()
+		os.Chtimes(pendingPath, now, now) // harmless if the rename is lost
+		leasedPath := q.leasedPath(id, worker)
+		if err := os.Rename(pendingPath, leasedPath); err != nil {
+			continue // another worker won this job
+		}
+		return &Lease{q: q, Job: j, Worker: worker, path: leasedPath}, nil
+	}
+	return nil, nil
+}
+
+// leaseInfo is one parsed lease-state file.
+type leaseInfo struct {
+	id     string
+	worker string
+	path   string
+	mtime  time.Time
+}
+
+// leases parses the leased state directory.
+func (q *Queue) leases() (map[string]leaseInfo, error) {
+	dir := filepath.Join(q.root, leasedDir)
+	names, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: leases: %w", err)
+	}
+	out := make(map[string]leaseInfo)
+	for _, n := range names {
+		name := n.Name()
+		if filepath.Ext(name) != ".json" || name[0] == '.' {
+			continue
+		}
+		base := strings.TrimSuffix(name, ".json")
+		id, worker, ok := strings.Cut(base, "@")
+		if !ok {
+			continue
+		}
+		info, err := n.Info()
+		if err != nil {
+			continue // vanished under a concurrent ack/reclaim
+		}
+		out[id] = leaseInfo{id: id, worker: worker,
+			path: filepath.Join(dir, name), mtime: info.ModTime()}
+	}
+	return out, nil
+}
+
+// Workers returns the worker IDs currently holding leases and how many
+// jobs each holds.
+func (q *Queue) Workers() (map[string]int, error) {
+	leases, err := q.leases()
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]int)
+	for _, l := range leases {
+		out[l.worker]++
+	}
+	return out, nil
+}
+
+// Reclaim returns expired leases — no heartbeat for longer than ttl — to
+// the pending state and reports how many jobs it re-pended. A lease whose
+// job already reached done (the worker crashed between acking and removing
+// its lease) is simply cleaned up. Concurrent reclaimers race on renames,
+// which is safe: one wins, the rest see ENOENT.
+func (q *Queue) Reclaim(ttl time.Duration) (int, error) {
+	leases, err := q.leases()
+	if err != nil {
+		return 0, err
+	}
+	cutoff := time.Now().Add(-ttl)
+	reclaimed := 0
+	for _, l := range leases {
+		if !l.mtime.Before(cutoff) {
+			continue
+		}
+		if q.HasResult(l.id) {
+			os.Remove(l.path)
+			continue
+		}
+		if err := os.Rename(l.path, q.pendingPath(l.id)); err == nil {
+			reclaimed++
+		}
+	}
+	return reclaimed, nil
+}
+
+// Lease is a worker's ownership of one claimed job. The lease file's mtime
+// is the heartbeat: Heartbeat refreshes it, and a lease idle longer than
+// the reclaim TTL is returned to pending by whoever notices first.
+type Lease struct {
+	q *Queue
+	// Job is the claimed job.
+	Job Job
+	// Worker is the owning worker's ID.
+	Worker string
+	path   string
+}
+
+// Heartbeat renews the lease by refreshing its file's mtime. Errors are
+// returned for observability but a worker need not abort on them: a lost
+// lease at worst means the job is redone by someone else, and the store
+// makes the redo cheap.
+func (l *Lease) Heartbeat() error {
+	now := time.Now()
+	return os.Chtimes(l.path, now, now)
+}
+
+// Ack records the job's result and releases the lease. If the lease was
+// reclaimed while the worker was executing (a heartbeat gap), the result
+// still lands in done — last writer wins, and both writers computed
+// byte-identical artifacts through the shared store, so a duplicate ack is
+// benign.
+func (l *Lease) Ack(r Result) error {
+	if err := l.q.WriteResult(r); err != nil {
+		return err
+	}
+	if err := os.Remove(l.path); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("cluster: ack %s: %w", l.Job.Workload, err)
+	}
+	return nil
+}
+
+// Release returns the claimed job to pending without a result, for a
+// worker shutting down mid-job: the job is immediately re-claimable
+// instead of waiting out the lease TTL.
+func (l *Lease) Release() error {
+	if err := os.Rename(l.path, l.q.pendingPath(l.Job.ID())); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("cluster: release %s: %w", l.Job.Workload, err)
+	}
+	return nil
+}
+
+// Drop removes the lease without recording a result, for a claimed job
+// found to be already done (a stale pending duplicate left by a reclaim
+// race).
+func (l *Lease) Drop() error {
+	if err := os.Remove(l.path); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("cluster: drop %s: %w", l.Job.Workload, err)
+	}
+	return nil
+}

@@ -1,0 +1,221 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/compiler"
+	"repro/internal/isa"
+	"repro/internal/pipeline"
+	"repro/internal/workloads"
+)
+
+// Worker is one lease-execute-ack participant. Any number of workers (in
+// one process or many) may drain one queue; the store they share guarantees
+// a re-executed job recomputes nothing that was already acked.
+type Worker struct {
+	// Queue is the job queue to drain.
+	Queue *Queue
+	// Pipe executes jobs. It must be built from the manifest's Spec (see
+	// PipelineOptions) and backed by the queue's store, or the worker's
+	// artifacts would not land where the dispatch's dedup looks.
+	Pipe *pipeline.Pipeline
+	// ID names the worker in lease files and results.
+	ID string
+	// Dispatch, when non-empty, is the Spec.Digest of the dispatch the
+	// pipeline was built for. A claimed job carrying a different dispatch
+	// digest — the queue was reset and re-dispatched under this worker —
+	// is released and aborts the run, since executing it with the old
+	// pipeline options would ack jobs whose artifacts were never computed
+	// under the new spec's keys.
+	Dispatch string
+	// TTL is the lease expiry the worker enforces on others and the
+	// heartbeat budget it must stay within itself (0 = DefaultLeaseTTL).
+	TTL time.Duration
+	// Poll is the idle polling interval (0 = DefaultPoll).
+	Poll time.Duration
+	// OnJob, when non-nil, observes every acked result (for CLI logging).
+	OnJob func(Result)
+}
+
+// Summary reports one worker's run.
+type Summary struct {
+	// Jobs counts acked jobs, Failed the subset that failed.
+	Jobs   int
+	Failed int
+}
+
+// PipelineOptions translates a dispatch spec into the pipeline options a
+// worker must run with, so every participant derives identical artifact
+// keys. The caller supplies Workers and Store (the per-process knobs the
+// spec deliberately does not pin).
+func PipelineOptions(spec Spec) (pipeline.Options, error) {
+	target := isa.ByName(spec.ProfileISA)
+	if target == nil {
+		return pipeline.Options{}, fmt.Errorf("cluster: unknown profiling ISA %q", spec.ProfileISA)
+	}
+	if spec.ProfileLevel < 0 || spec.ProfileLevel >= len(compiler.Levels) {
+		return pipeline.Options{}, fmt.Errorf("cluster: profiling level %d out of range", spec.ProfileLevel)
+	}
+	return pipeline.Options{
+		Seed:         spec.Seed,
+		TargetDyn:    spec.TargetDyn,
+		MaxInstrs:    spec.MaxInstrs,
+		ProfileISA:   target,
+		ProfileLevel: compiler.Levels[spec.ProfileLevel],
+	}, nil
+}
+
+// Run drains the queue: claim a job, execute its grid, ack the result,
+// repeat. When nothing is pending it reclaims expired leases (recovering
+// crashed siblings' jobs) and exits once the queue has converged: the done
+// count reaches the manifest total. (Counts' per-state reads are not one
+// atomic snapshot — a job mid-rename is briefly in neither state — so
+// "pending and leased both empty" would be a racy exit condition; the done
+// count is monotone. Without a manifest the emptiness heuristic is all
+// there is.) On cancellation a held lease is released back to pending so
+// the job is immediately re-claimable.
+func (w *Worker) Run(ctx context.Context) (Summary, error) {
+	var sum Summary
+	ttl, poll := w.TTL, w.Poll
+	if ttl <= 0 {
+		ttl = DefaultLeaseTTL
+	}
+	if poll <= 0 {
+		poll = DefaultPoll
+	}
+	total := -1
+	if m, err := w.Queue.Manifest(); err != nil {
+		return sum, err
+	} else if m != nil {
+		total = m.Total
+	}
+	var stalledSince time.Time
+	for {
+		if err := ctx.Err(); err != nil {
+			return sum, err
+		}
+		lease, err := w.Queue.Claim(w.ID)
+		if err != nil {
+			return sum, err
+		}
+		if lease == nil {
+			if n, err := w.Queue.Reclaim(ttl); err != nil {
+				return sum, err
+			} else if n > 0 {
+				continue // recovered jobs are pending again: go claim
+			}
+			c, err := w.Queue.Counts()
+			if err != nil {
+				return sum, err
+			}
+			if total >= 0 && c.Done >= total {
+				return sum, nil // queue converged
+			}
+			if total < 0 && c.Pending == 0 && c.Leased == 0 {
+				return sum, nil // no manifest: best-effort emptiness check
+			}
+			if c.Pending == 0 && c.Leased == 0 {
+				// Fewer jobs exist than the manifest promises: the
+				// residue of an interrupted dispatch, not a transient
+				// mid-rename window (see errStalled), tolerated for one
+				// lease TTL before giving up.
+				if stalledSince.IsZero() {
+					stalledSince = time.Now()
+				} else if time.Since(stalledSince) >= ttl {
+					return sum, errStalled(c.Done, total)
+				}
+			} else {
+				stalledSince = time.Time{}
+			}
+			select { // work is in flight elsewhere: wait for it or for a crash
+			case <-ctx.Done():
+				return sum, ctx.Err()
+			case <-time.After(poll):
+			}
+			continue
+		}
+		stalledSince = time.Time{}
+		if w.Dispatch != "" && lease.Job.Dispatch != w.Dispatch {
+			lease.Release()
+			return sum, fmt.Errorf("cluster: queue was re-dispatched (job %s belongs to dispatch %s, this worker was built for %s); restart the worker",
+				lease.Job.Workload, lease.Job.Dispatch, w.Dispatch)
+		}
+		if w.Queue.HasResult(lease.Job.ID()) {
+			lease.Drop() // stale pending duplicate from a reclaim race
+			continue
+		}
+		res, err := w.execute(ctx, lease, ttl)
+		if err != nil { // canceled mid-job: hand the job back
+			lease.Release()
+			return sum, err
+		}
+		if err := lease.Ack(res); err != nil {
+			return sum, err
+		}
+		sum.Jobs++
+		if res.Err != "" {
+			sum.Failed++
+		}
+		if w.OnJob != nil {
+			w.OnJob(res)
+		}
+	}
+}
+
+// execute runs one job's (ISA, level) grid through the pipeline,
+// heartbeating the lease in the background. Job failures are recorded in
+// the Result, not returned: only cancellation aborts the worker.
+func (w *Worker) execute(ctx context.Context, lease *Lease, ttl time.Duration) (Result, error) {
+	res := Result{Job: lease.Job, Worker: w.ID}
+
+	hbCtx, stopHB := context.WithCancel(ctx)
+	hbDone := make(chan struct{})
+	go func() {
+		defer close(hbDone)
+		t := time.NewTicker(ttl / 3)
+		defer t.Stop()
+		for {
+			select {
+			case <-hbCtx.Done():
+				return
+			case <-t.C:
+				lease.Heartbeat() // a lost lease only means a benign redo
+			}
+		}
+	}()
+	defer func() { stopHB(); <-hbDone }()
+
+	start := time.Now()
+	before := w.Pipe.CacheStats()
+	err := w.runJob(ctx, lease.Job)
+	res.Stats = w.Pipe.CacheStats().Sub(before)
+	res.Millis = time.Since(start).Milliseconds()
+	if err != nil {
+		if ctx.Err() != nil {
+			return res, ctx.Err()
+		}
+		res.Err = err.Error()
+	}
+	return res, nil
+}
+
+// runJob fans the job's grid points out on the pipeline's worker pool.
+func (w *Worker) runJob(ctx context.Context, j Job) error {
+	wl := workloads.ByName(j.Workload)
+	if wl == nil {
+		return fmt.Errorf("cluster: unknown workload %q", j.Workload)
+	}
+	return pipeline.ForEach(ctx, w.Pipe, j.Points(), func(ctx context.Context, pt Point) error {
+		target := isa.ByName(pt.ISA)
+		if target == nil {
+			return fmt.Errorf("cluster: unknown ISA %q", pt.ISA)
+		}
+		if pt.Level < 0 || pt.Level >= len(compiler.Levels) {
+			return fmt.Errorf("cluster: level %d out of range", pt.Level)
+		}
+		_, err := w.Pipe.PairAt(ctx, wl, target, compiler.Levels[pt.Level])
+		return err
+	})
+}

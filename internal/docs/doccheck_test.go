@@ -12,12 +12,13 @@ import (
 
 // guardedPackages are the packages whose exported API must be fully
 // documented: the orchestration layer, the synthesis core, the profiler,
-// and the persistence layer.
+// the persistence layer, and the cluster coordination layer.
 var guardedPackages = []string{
 	"../pipeline",
 	"../core",
 	"../profile",
 	"../store",
+	"../cluster",
 }
 
 // TestExportedIdentifiersDocumented fails for every exported package-level

@@ -60,6 +60,25 @@ func (k Key) Digest() string {
 	return fmt.Sprintf("%016x", h.Sum64())
 }
 
+// StoreKind returns the store artifact kind the key's stage persists, or
+// "" for memory-only stages (Parse, Check). Callers probing a store for an
+// artifact's presence — the cluster coordinator deduplicating jobs against
+// already-stored work — pass it alongside Digest and Canonical so a digest
+// collision between artifact types reads as absent.
+func (k Key) StoreKind() string {
+	switch k.Stage {
+	case StageCompile:
+		return store.KindProgram
+	case StageProfile:
+		return store.KindProfile
+	case StageSynthesize:
+		return store.KindClone
+	case StageValidate:
+		return store.KindMarker
+	}
+	return ""
+}
+
 // CacheStats reports artifact-cache effectiveness across both tiers.
 type CacheStats struct {
 	Hits     uint64 // requests satisfied by (or coalesced onto) an in-memory entry
@@ -79,6 +98,33 @@ func (s CacheStats) ComputedFor(st Stage) uint64 {
 		return s.Computed[st]
 	}
 	return 0
+}
+
+// Add returns the counter-wise sum s+t. The cluster consolidator uses it to
+// merge per-shard statistics into one cluster-wide report.
+func (s CacheStats) Add(t CacheStats) CacheStats {
+	s.Hits += t.Hits
+	s.Misses += t.Misses
+	s.DiskHits += t.DiskHits
+	s.DiskErrors += t.DiskErrors
+	for i := range s.Computed {
+		s.Computed[i] += t.Computed[i]
+	}
+	return s
+}
+
+// Sub returns the counter-wise difference s−t. Counters only grow, so a
+// worker that snapshots stats before and after a job gets that job's exact
+// delta with later.Sub(earlier).
+func (s CacheStats) Sub(t CacheStats) CacheStats {
+	s.Hits -= t.Hits
+	s.Misses -= t.Misses
+	s.DiskHits -= t.DiskHits
+	s.DiskErrors -= t.DiskErrors
+	for i := range s.Computed {
+		s.Computed[i] -= t.Computed[i]
+	}
+	return s
 }
 
 // entry is one in-flight or completed artifact. Waiters block on ready, so

@@ -347,6 +347,35 @@ func (p *Pipeline) Validate(ctx context.Context, w *workloads.Workload) error {
 	return err
 }
 
+// PairKeys returns the keys of every artifact a PairAt(w, target, level)
+// job persists to a store: the original compile at the job point, the
+// compile at the profiling point (when distinct), the profile, the
+// synthesized clone, and the clone compile at the job point. A caller
+// holding a store can therefore decide — without running anything — whether
+// the job's work already exists, by probing each key's Digest, StoreKind,
+// and Canonical; the cluster coordinator uses exactly this to deduplicate
+// dispatched jobs against prior runs. The construction mirrors Compile,
+// Profile, Synthesize, and CompileClone; TestPairKeysMatchStoredDigests
+// guards against drift.
+func (p *Pipeline) PairKeys(w *workloads.Workload, target *isa.Desc, level compiler.OptLevel) []Key {
+	orig := Key{Stage: StageCompile, Workload: w.Name, ISA: target.Name, Level: level,
+		Src: srcID(w)}
+	keys := []Key{orig}
+	profCompile := Key{Stage: StageCompile, Workload: w.Name, ISA: p.opts.ProfileISA.Name,
+		Level: p.opts.ProfileLevel, Src: srcID(w)}
+	if profCompile != orig {
+		keys = append(keys, profCompile)
+	}
+	keys = append(keys, Key{Stage: StageProfile, Workload: w.Name, ISA: p.opts.ProfileISA.Name,
+		Level: p.opts.ProfileLevel, Cache: p.opts.ProfileCache,
+		MaxInstrs: p.opts.MaxInstrs, Src: srcID(w)})
+	keys = append(keys, p.cloneKey(StageSynthesize, w))
+	cloneCompile := p.cloneKey(StageCompile, w)
+	cloneCompile.ISA, cloneCompile.Level = target.Name, level
+	keys = append(keys, cloneCompile)
+	return keys
+}
+
 // PairAt compiles both the original and the clone for one (ISA, level)
 // point, sharing profile and synthesis work through the cache.
 func (p *Pipeline) PairAt(ctx context.Context, w *workloads.Workload, target *isa.Desc, level compiler.OptLevel) (Pair, error) {

@@ -241,6 +241,73 @@ func TestPipelineSynthesizeProfile(t *testing.T) {
 	}
 }
 
+// TestPairKeysMatchStoredDigests guards PairKeys against drifting from the
+// stage methods' own key construction: after a cold PairAt run, every key
+// PairKeys predicts must exist in the store — this is exactly the probe the
+// cluster coordinator uses to deduplicate jobs — and together they must
+// account for every entry the run wrote.
+func TestPairKeysMatchStoredDigests(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	w := mustWorkload(t, "crc32/small")
+	p := pipeline.New(pipeline.Options{Workers: 1, Seed: 1, Store: openStore(t, dir)})
+	if _, err := p.PairAt(ctx, w, isa.IA64, compiler.O2); err != nil {
+		t.Fatal(err)
+	}
+
+	s := openStore(t, dir)
+	keys := p.PairKeys(w, isa.IA64, compiler.O2)
+	// Grid point ≠ profiling point: orig compile, profiling compile,
+	// profile, synthesize, clone compile.
+	if len(keys) != 5 {
+		t.Fatalf("PairKeys returned %d keys, want 5", len(keys))
+	}
+	for _, k := range keys {
+		if k.StoreKind() == "" {
+			t.Errorf("key %v has no store kind", k.Stage)
+			continue
+		}
+		if !s.Has(k.Digest(), k.StoreKind(), k.Canonical()) {
+			t.Errorf("PairKeys predicts %v/%s but the store has no such entry (drift from the stage methods?)",
+				k.Stage, k.Digest())
+		}
+	}
+	if n, err := s.Len(); err != nil || n != len(keys) {
+		t.Errorf("store holds %d entries, PairKeys predicts %d: %v", n, len(keys), err)
+	}
+
+	// At the profiling point the orig compile and the profiling compile
+	// coincide, so the prediction shrinks by one.
+	if n := len(p.PairKeys(w, isa.AMD64, compiler.O0)); n != 4 {
+		t.Errorf("profiling-point PairKeys returned %d keys, want 4", n)
+	}
+
+	// Memory-only stages never claim a store kind.
+	if kind := (pipeline.Key{Stage: pipeline.StageParse}).StoreKind(); kind != "" {
+		t.Errorf("parse stage claims store kind %q", kind)
+	}
+}
+
+// TestCacheStatsAddSub checks the merge arithmetic cluster reports rely
+// on: Add is counter-wise, and Sub recovers an exact per-job delta.
+func TestCacheStatsAddSub(t *testing.T) {
+	var a, b pipeline.CacheStats
+	a.Hits, a.DiskHits, a.Misses, a.DiskErrors = 5, 3, 2, 1
+	a.Computed[pipeline.StageCompile] = 2
+	b.Hits, b.DiskHits = 1, 1
+	b.Computed[pipeline.StageCompile] = 1
+	b.Computed[pipeline.StageProfile] = 4
+
+	sum := a.Add(b)
+	if sum.Hits != 6 || sum.DiskHits != 4 || sum.Misses != 2 || sum.DiskErrors != 1 ||
+		sum.Computed[pipeline.StageCompile] != 3 || sum.Computed[pipeline.StageProfile] != 4 {
+		t.Fatalf("Add: %+v", sum)
+	}
+	if back := sum.Sub(b); back != a {
+		t.Fatalf("Sub did not invert Add: %+v != %+v", back, a)
+	}
+}
+
 // TestPipelineKeyGoldenDigests pins digests across processes and builds:
 // the disk store files artifacts by these strings, so any drift silently
 // invalidates every existing store. Bump store.SchemaVersion if a change

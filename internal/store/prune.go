@@ -1,0 +1,131 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+)
+
+// PruneOptions bounds a Prune pass. Zero values disable the corresponding
+// limit, so the zero PruneOptions removes nothing.
+type PruneOptions struct {
+	// MaxAge evicts entries whose mtime is older than now−MaxAge
+	// (0 = no age limit).
+	MaxAge time.Duration
+	// MaxBytes evicts oldest entries until the store's payload files total
+	// at most MaxBytes (0 = no size limit).
+	MaxBytes int64
+	// DryRun reports what a real pass would remove without removing it.
+	DryRun bool
+}
+
+// PruneStats reports one Prune pass.
+type PruneStats struct {
+	// Scanned counts the entries examined and their total size.
+	Scanned      int
+	ScannedBytes int64
+	// Removed counts the entries evicted (or, under DryRun, that would
+	// have been) and their total size.
+	Removed      int
+	RemovedBytes int64
+}
+
+// pruneEntry is one eviction candidate.
+type pruneEntry struct {
+	path  string
+	size  int64
+	mtime time.Time
+}
+
+// Prune evicts store entries oldest-first by modification time: first every
+// entry older than MaxAge, then — if the remainder still exceeds MaxBytes —
+// the oldest survivors until the store fits. It considers only completed
+// cache entries (sharded *.json files): in-flight temp files are never
+// touched, so Prune cannot remove an entry mid-write (writes are atomic
+// temp+rename anyway), and non-shard subdirectories such as the cluster job
+// queue are skipped entirely. Eviction order is write order — Get does not
+// refresh mtimes — so the policy is oldest-written-first, not LRU. Racing a
+// concurrent writer is safe: losing an entry is a cache miss by design, and
+// a remove that loses the race is ignored.
+func (s *Store) Prune(opts PruneOptions) (PruneStats, error) {
+	var stats PruneStats
+	var entries []pruneEntry
+	shards, err := os.ReadDir(s.root)
+	if err != nil {
+		return stats, fmt.Errorf("store: prune: %w", err)
+	}
+	for _, shard := range shards {
+		if !shard.IsDir() || !isShardName(shard.Name()) {
+			continue
+		}
+		dir := filepath.Join(s.root, shard.Name())
+		files, err := os.ReadDir(dir)
+		if err != nil {
+			continue // shard vanished under a concurrent prune
+		}
+		for _, f := range files {
+			if f.IsDir() || filepath.Ext(f.Name()) != ".json" || f.Name()[0] == '.' {
+				continue
+			}
+			info, err := f.Info()
+			if err != nil {
+				continue
+			}
+			entries = append(entries, pruneEntry{
+				path:  filepath.Join(dir, f.Name()),
+				size:  info.Size(),
+				mtime: info.ModTime(),
+			})
+		}
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if !entries[i].mtime.Equal(entries[j].mtime) {
+			return entries[i].mtime.Before(entries[j].mtime)
+		}
+		return entries[i].path < entries[j].path // stable order for equal mtimes
+	})
+
+	stats.Scanned = len(entries)
+	remaining := int64(0)
+	for _, e := range entries {
+		stats.ScannedBytes += e.size
+		remaining += e.size
+	}
+
+	cutoff := time.Time{}
+	if opts.MaxAge > 0 {
+		cutoff = time.Now().Add(-opts.MaxAge)
+	}
+	for _, e := range entries {
+		tooOld := !cutoff.IsZero() && e.mtime.Before(cutoff)
+		overBudget := opts.MaxBytes > 0 && remaining > opts.MaxBytes
+		if !tooOld && !overBudget {
+			break // entries are oldest-first: nothing later qualifies either
+		}
+		if !opts.DryRun {
+			if err := os.Remove(e.path); err != nil && !os.IsNotExist(err) {
+				return stats, fmt.Errorf("store: prune: %w", err)
+			}
+		}
+		stats.Removed++
+		stats.RemovedBytes += e.size
+		remaining -= e.size
+	}
+	return stats, nil
+}
+
+// isShardName reports whether name is a two-hex-character shard directory.
+func isShardName(name string) bool {
+	if len(name) != 2 {
+		return false
+	}
+	for i := 0; i < 2; i++ {
+		c := name[i]
+		if !('0' <= c && c <= '9' || 'a' <= c && c <= 'f') {
+			return false
+		}
+	}
+	return true
+}

@@ -112,6 +112,15 @@ func (s *Store) Get(digest, kind, key string) (payload []byte, ok bool) {
 	return env.Payload, true
 }
 
+// Has reports whether a valid entry exists for (digest, kind, key) — the
+// same validation Get performs, discarding the payload. Dedup decisions
+// (skip a cluster job whose artifacts are already stored) use Has so that a
+// corrupt or stale entry counts as absent and the work is redone.
+func (s *Store) Has(digest, kind, key string) bool {
+	_, ok := s.Get(digest, kind, key)
+	return ok
+}
+
 // Put writes payload under digest, atomically replacing any existing entry.
 // kind and key are stored in the envelope and re-verified by Get.
 func (s *Store) Put(digest, kind, key string, payload []byte) error {
@@ -129,19 +138,31 @@ func (s *Store) Put(digest, kind, key string, payload []byte) error {
 	if err != nil {
 		return fmt.Errorf("store: put %s: %w", digest, err)
 	}
-	tmp, err := os.CreateTemp(filepath.Dir(path), "."+digest+".tmp-")
-	if err != nil {
+	if err := WriteFileAtomic(path, data); err != nil {
 		return fmt.Errorf("store: put %s: %w", digest, err)
+	}
+	return nil
+}
+
+// WriteFileAtomic writes data to path via a dot-prefixed temp file in the
+// same directory followed by a rename, so concurrent readers never observe
+// a partial file. It is the store's one write convention, shared with the
+// cluster queue's coordination files (and honored by Prune, which skips
+// the dot-prefixed in-flight temps).
+func WriteFileAtomic(path string, data []byte) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), "."+filepath.Base(path)+".tmp-")
+	if err != nil {
+		return err
 	}
 	_, werr := tmp.Write(data)
 	cerr := tmp.Close()
 	if werr != nil || cerr != nil {
 		os.Remove(tmp.Name())
-		return fmt.Errorf("store: put %s: write %v, close %v", digest, werr, cerr)
+		return fmt.Errorf("write %v, close %v", werr, cerr)
 	}
 	if err := os.Rename(tmp.Name(), path); err != nil {
 		os.Remove(tmp.Name())
-		return fmt.Errorf("store: put %s: %w", digest, err)
+		return err
 	}
 	return nil
 }
