@@ -193,8 +193,8 @@ func cmdWork(ctx context.Context, args []string, stdout, stderr io.Writer) error
 			if r.Err != "" {
 				status = "FAILED: " + r.Err
 			}
-			fmt.Fprintf(stderr, "synth work %s: %s (%d points) in %dms: %s\n",
-				*id, r.Job.Workload, len(r.Job.Points()), r.Millis, status)
+			fmt.Fprintf(stderr, "synth work %s: %s (%d cells) in %dms: %s\n",
+				*id, r.Job.Workload, r.Job.Cells(), r.Millis, status)
 		},
 	}
 	sum, err := w.Run(ctx)

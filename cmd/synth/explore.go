@@ -1,0 +1,123 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/cluster"
+	"repro/internal/explore"
+	"repro/internal/pipeline"
+)
+
+// cmdExplore runs a design-space exploration sweep: a declarative spec
+// (file or built-in preset) expands into machine-configuration design
+// points, every (point, workload, level) cell simulates the original and
+// its synthetic clone through the cached Simulate stage, and the ranked
+// report — per-point CPI error, speedup-prediction error, Pareto
+// frontier — lands on stdout. With -dispatch the sweep's cells are
+// instead sharded through the store's cluster queue for `synth work`
+// fleets; -wait blocks for the drain and then aggregates the report from
+// the warm store.
+func cmdExplore(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("synth explore", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var c commonFlags
+	addCommon(fs, &c)
+	specFile := fs.String("spec", "", "sweep specification JSON file (see docs/explore.md)")
+	preset := fs.String("preset", "", "built-in sweep preset (calibration); alternative to -spec")
+	top := fs.Int("top", 0, "ranked-table rows to print (0 = the spec's topK, default 10)")
+	asJSON := fs.Bool("json", false, "emit the full report as JSON instead of the table")
+	stats := fs.Bool("stats", false, "print artifact-cache statistics to stderr afterwards")
+	dispatch := fs.Bool("dispatch", false, "enqueue the sweep into the store's cluster queue instead of simulating locally")
+	wait := fs.Bool("wait", false, "with -dispatch: block until the queue drains, then print the report")
+	force := fs.Bool("force", false, "with -dispatch: re-enqueue jobs even when their artifacts are already stored")
+	ttl := fs.Duration("lease-ttl", cluster.DefaultLeaseTTL, "lease expiry for reclaiming crashed workers' jobs (with -wait)")
+	poll := fs.Duration("poll", cluster.DefaultPoll, "queue polling interval (with -wait)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	sw, err := loadSweep(*specFile, *preset)
+	if err != nil {
+		return err
+	}
+	if *top > 0 {
+		sw.Spec.TopK = *top
+	}
+
+	var p *pipeline.Pipeline
+	if *dispatch {
+		if c.storeDir == "" {
+			return fmt.Errorf("-dispatch needs -store (the cluster queue lives under the shared store)")
+		}
+		q, err := openQueue(c.storeDir)
+		if err != nil {
+			return err
+		}
+		if p, err = c.pipelineWith(q.Store()); err != nil {
+			return err
+		}
+		spec := sw.ClusterSpec(c.seed, c.isaName, c.level)
+		out, err := cluster.Dispatch(ctx, q, p, spec, cluster.DispatchOptions{Force: *force})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "synth explore: %d jobs (%d points × %d levels per workload): %d enqueued, %d deduped from store, %d already done, %d already queued\n",
+			out.Total, len(sw.Points), len(sw.Levels),
+			out.Enqueued, out.Deduped, out.AlreadyDone, out.AlreadyQueued)
+		if !*wait {
+			return nil
+		}
+		if _, err := cluster.Wait(ctx, q, cluster.WaitOptions{TTL: *ttl, Poll: *poll}); err != nil {
+			return err
+		}
+	} else {
+		if p, err = c.pipeline(); err != nil {
+			return err
+		}
+	}
+
+	rep, err := explore.Run(ctx, p, sw)
+	if err != nil {
+		return err
+	}
+	if *asJSON {
+		if err := writeIndentedJSON(stdout, rep); err != nil {
+			return err
+		}
+	} else {
+		rep.Print(stdout)
+	}
+	if *stats {
+		printStats(stderr, p)
+	}
+	return nil
+}
+
+// loadSweep resolves the -spec/-preset pair into a validated sweep.
+func loadSweep(specFile, preset string) (*explore.Sweep, error) {
+	switch {
+	case specFile != "" && preset != "":
+		return nil, fmt.Errorf("-spec and -preset are mutually exclusive")
+	case specFile != "":
+		data, err := os.ReadFile(specFile)
+		if err != nil {
+			return nil, err
+		}
+		sw, err := explore.ParseSpec(data)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", specFile, err)
+		}
+		return sw, nil
+	case preset != "":
+		spec, err := explore.Preset(preset)
+		if err != nil {
+			return nil, err
+		}
+		return spec.Resolve()
+	}
+	return nil, fmt.Errorf("missing -spec FILE or -preset NAME")
+}

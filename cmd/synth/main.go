@@ -9,6 +9,7 @@
 //	synth synthesize {-workload NAME | -from PROFILE.json} [-seed N] [-report] [-validate]
 //	synth consolidate [-name NAME] [-synthesize] WORKLOAD-OR-PROFILE.json...
 //	synth experiments [-suite tiny|quick|full] [-only LIST] [-stats] [-store DIR]
+//	synth explore {-spec FILE | -preset NAME} [-store DIR] [-top K] [-json] [-dispatch [-wait]]
 //	synth dispatch -store DIR [-suite quick] [-isas LIST] [-levels LIST] [-wait] [-force]
 //	synth work -store DIR [-id NAME] [-lease-ttl D] [-workers N]
 //	synth store-gc -store DIR [-max-age D] [-max-bytes N] [-dry-run]
@@ -22,6 +23,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -104,11 +106,19 @@ func printStats(w io.Writer, p *pipeline.Pipeline) {
 	if total > 0 {
 		rate = float64(cs.Hits+cs.DiskHits) / float64(total)
 	}
-	fmt.Fprintf(w, "artifact cache: %d hits, %d disk hits, %d misses (%.1f%% hit rate), %d disk errors, %d workers; computed parse=%d check=%d compile=%d profile=%d synthesize=%d validate=%d\n",
+	fmt.Fprintf(w, "artifact cache: %d hits, %d disk hits, %d misses (%.1f%% hit rate), %d disk errors, %d workers; computed parse=%d check=%d compile=%d profile=%d synthesize=%d validate=%d simulate=%d\n",
 		cs.Hits, cs.DiskHits, cs.Misses, rate*100, cs.DiskErrors, p.Workers(),
 		cs.ComputedFor(pipeline.StageParse), cs.ComputedFor(pipeline.StageCheck),
 		cs.ComputedFor(pipeline.StageCompile), cs.ComputedFor(pipeline.StageProfile),
-		cs.ComputedFor(pipeline.StageSynthesize), cs.ComputedFor(pipeline.StageValidate))
+		cs.ComputedFor(pipeline.StageSynthesize), cs.ComputedFor(pipeline.StageValidate),
+		cs.ComputedFor(pipeline.StageSimulate))
+}
+
+// writeIndentedJSON renders v as indented JSON, the CLI's JSON style.
+func writeIndentedJSON(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(v)
 }
 
 func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
@@ -126,6 +136,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		err = cmdConsolidate(ctx, args[1:], stdout, stderr)
 	case "experiments":
 		err = cmdExperiments(ctx, args[1:], stdout, stderr)
+	case "explore":
+		err = cmdExplore(ctx, args[1:], stdout, stderr)
 	case "dispatch":
 		err = cmdDispatch(ctx, args[1:], stdout, stderr)
 	case "work":
@@ -162,6 +174,7 @@ Commands:
   synthesize   synthesize a clone (from a workload or -from a saved profile)
   consolidate  merge several profiles into one consolidated proxy profile
   experiments  regenerate the paper's tables and figures
+  explore      sweep a microarchitecture design space and rank the points
   dispatch     enqueue a suite's jobs into a shared store's cluster queue
   work         run one cluster worker: lease, execute, ack until drained
   store-gc     evict old entries from a persistent artifact store
@@ -350,21 +363,7 @@ var experimentNames = []string{
 
 // suiteWorkloads resolves a suite name to its workload set.
 func suiteWorkloads(suite string) ([]*workloads.Workload, error) {
-	switch suite {
-	case "tiny":
-		var ws []*workloads.Workload
-		for _, n := range []string{"crc32/small", "dijkstra/small", "fft/small1"} {
-			if w := workloads.ByName(n); w != nil {
-				ws = append(ws, w)
-			}
-		}
-		return ws, nil
-	case "quick":
-		return experiments.Quick(), nil
-	case "full":
-		return experiments.Full(), nil
-	}
-	return nil, fmt.Errorf("unknown suite %q (want tiny, quick, or full)", suite)
+	return experiments.Suite(suite)
 }
 
 // parseOnly parses the -only experiment subset; an empty string selects

@@ -20,6 +20,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/explore"
 	"repro/internal/pipeline"
 	"repro/internal/profile"
 	"repro/internal/workloads"
@@ -84,6 +85,7 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("/api/v1/synthesize", s.limited(s.handleSynthesize))
 	mux.HandleFunc("/api/v1/consolidate", s.limited(s.handleConsolidate))
 	mux.HandleFunc("/api/v1/experiments", s.limited(s.handleExperiments))
+	mux.HandleFunc("/api/v1/explore", s.limited(s.handleExplore))
 	mux.HandleFunc("/api/v1/batch/synthesize", s.limited(s.handleBatchSynthesize))
 	mux.HandleFunc("/api/v1/cluster/status", s.handleClusterStatus)
 	mux.HandleFunc("/api/v1/stats", s.handleStats)
@@ -387,6 +389,39 @@ func (s *server) handleExperiments(w http.ResponseWriter, r *http.Request) {
 		"only":   q.Get("only"),
 		"output": buf.String(),
 	})
+}
+
+// handleExplore evaluates a design-space sweep: the POST body is the
+// same JSON spec `synth explore -spec` consumes, and the response is the
+// full ranked report. The whole sweep occupies one admission slot, and
+// every simulation is a cached pipeline artifact, so repeated or
+// overlapping sweep requests recompute only what no earlier request (or
+// the store) has seen.
+func (s *server) handleExplore(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		httpError(w, http.StatusMethodNotAllowed, "POST a sweep spec JSON body (see docs/explore.md)")
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad spec body: %v", err)
+		return
+	}
+	sw, err := explore.ParseSpec(body)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	rep, err := explore.Run(r.Context(), s.p, sw)
+	if err != nil {
+		if r.Context().Err() != nil {
+			return // client gone mid-sweep
+		}
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, rep)
 }
 
 // batchRequest is the POST body of /api/v1/batch/synthesize: an explicit

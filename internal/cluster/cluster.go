@@ -26,12 +26,15 @@ import (
 	"fmt"
 	"hash/fnv"
 	"strings"
+
+	"repro/internal/cpu"
 )
 
 // SchemaVersion is the queue's on-disk schema. Manifests written under a
 // different version are rejected, so mixed-binary fleets fail loudly
-// instead of corrupting each other's queues.
-const SchemaVersion = 1
+// instead of corrupting each other's queues. Version 2 added exploration
+// dispatches (Spec.Explore, Job.Kind/Sims).
+const SchemaVersion = 2
 
 // Spec declares one dispatch: which workloads to synthesize, over which
 // (ISA, level) grid, and the pipeline options that shape the artifacts.
@@ -54,16 +57,32 @@ type Spec struct {
 	// ProfileISA and ProfileLevel fix the profiling point.
 	ProfileISA   string `json:"profileIsa"`
 	ProfileLevel int    `json:"profileLevel"`
+	// Explore, when non-empty, makes this an exploration dispatch: each
+	// job simulates its workload's original and synthetic clone on every
+	// one of these machine configurations at every level of the grid,
+	// through the pipeline's cached Simulate stage. Jobs remain sharded
+	// per workload, and simulation keys are workload-scoped, so the
+	// queue's zero-duplication guarantee is unchanged.
+	Explore []cpu.ConfigSpec `json:"explore,omitempty"`
+	// SimMaxInstrs bounds each exploration simulation's dynamic
+	// instruction count (0 = run to completion); part of the simulation
+	// cache key, so every participant must agree on it.
+	SimMaxInstrs uint64 `json:"simMaxInstrs,omitempty"`
 }
 
 // Canonical returns the versioned, unambiguous encoding of the spec. Two
 // dispatches with equal canonicals are the same dispatch; a manifest whose
 // canonical differs from a new dispatch's marks a conflicting queue.
 func (s Spec) Canonical() string {
-	return fmt.Sprintf("v1|%s|%s|%s|%s|%d|%d|%d|%s|%d",
+	sims := make([]string, len(s.Explore))
+	for i, cs := range s.Explore {
+		sims[i] = cs.Canonical()
+	}
+	return fmt.Sprintf("v2|%s|%s|%s|%s|%d|%d|%d|%s|%d|%s|%d",
 		s.Suite, strings.Join(s.Workloads, ","), strings.Join(s.ISAs, ","),
 		joinInts(s.Levels), s.Seed, s.TargetDyn, s.MaxInstrs,
-		s.ProfileISA, s.ProfileLevel)
+		s.ProfileISA, s.ProfileLevel,
+		strings.Join(sims, ";"), s.SimMaxInstrs)
 }
 
 // Digest returns the spec's dispatch identity — the digest of its
@@ -77,16 +96,24 @@ func (s Spec) Digest() string {
 
 // Jobs enumerates the spec's job list: one job per workload carrying the
 // full (ISA, level) grid (see the package comment for why sharding is
-// per-workload).
+// per-workload). Exploration specs additionally stamp every job with the
+// machine configurations to simulate.
 func (s Spec) Jobs() []Job {
 	specDigest := s.Digest()
+	kind := ""
+	if len(s.Explore) > 0 {
+		kind = KindExplore
+	}
 	jobs := make([]Job, 0, len(s.Workloads))
 	for _, w := range s.Workloads {
 		jobs = append(jobs, Job{
-			Workload: w,
-			ISAs:     s.ISAs,
-			Levels:   s.Levels,
-			Dispatch: specDigest,
+			Workload:     w,
+			ISAs:         s.ISAs,
+			Levels:       s.Levels,
+			Dispatch:     specDigest,
+			Kind:         kind,
+			Sims:         s.Explore,
+			SimMaxInstrs: s.SimMaxInstrs,
 		})
 	}
 	return jobs

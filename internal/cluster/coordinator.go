@@ -140,11 +140,18 @@ func validateSpec(spec Spec) error {
 			return fmt.Errorf("cluster: dispatch: optimization level %d out of range 0-%d", l, len(compiler.Levels)-1)
 		}
 	}
+	for i, cs := range spec.Explore {
+		if _, err := cs.Config(); err != nil {
+			return fmt.Errorf("cluster: dispatch: explore point %d: %w", i, err)
+		}
+	}
 	return nil
 }
 
 // jobStored reports whether every artifact the job would persist already
-// exists in the queue's store.
+// exists in the queue's store. Exploration jobs additionally require the
+// simulation summaries of every (config, level) cell whose config runs
+// on the grid point's ISA.
 func jobStored(q *Queue, p *pipeline.Pipeline, j Job) bool {
 	w := workloads.ByName(j.Workload)
 	if w == nil {
@@ -156,7 +163,18 @@ func jobStored(q *Queue, p *pipeline.Pipeline, j Job) bool {
 		if target == nil {
 			return false
 		}
-		for _, k := range p.PairKeys(w, target, compiler.Levels[pt.Level]) {
+		keys := p.PairKeys(w, target, compiler.Levels[pt.Level])
+		for _, cs := range j.Sims {
+			cfg, err := cs.Config()
+			if err != nil {
+				return false
+			}
+			if cfg.ISA != target {
+				continue // this config simulates on a different grid ISA
+			}
+			keys = append(keys, p.SimKeys(w, target, compiler.Levels[pt.Level], cfg, j.SimMaxInstrs)...)
+		}
+		for _, k := range keys {
 			if !st.Has(k.Digest(), k.StoreKind(), k.Canonical()) {
 				return false
 			}

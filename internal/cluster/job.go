@@ -3,8 +3,14 @@ package cluster
 import (
 	"fmt"
 
+	"repro/internal/cpu"
 	"repro/internal/pipeline"
 )
+
+// KindExplore marks a job as an exploration shard: beyond the pair grid,
+// the worker simulates the workload's original and clone on every machine
+// configuration in Sims at every level.
+const KindExplore = "explore"
 
 // Job is one shard of a dispatch: every (ISA, level) point of one
 // workload. Jobs are self-describing — a pending file carries the whole
@@ -20,6 +26,13 @@ type Job struct {
 	// It scopes job IDs, so results from a superseded dispatch can never
 	// be mistaken for this one's.
 	Dispatch string `json:"dispatch"`
+	// Kind discriminates job flavors: "" is pair synthesis, KindExplore
+	// an exploration shard.
+	Kind string `json:"kind,omitempty"`
+	// Sims and SimMaxInstrs carry an exploration spec's machine
+	// configurations and simulation bound (KindExplore jobs only).
+	Sims         []cpu.ConfigSpec `json:"sims,omitempty"`
+	SimMaxInstrs uint64           `json:"simMaxInstrs,omitempty"`
 }
 
 // ID returns the job's queue identity: a digest over the dispatch digest
@@ -27,6 +40,16 @@ type Job struct {
 // dispatch, and distinct across different dispatch specs.
 func (j Job) ID() string {
 	return digestOf(fmt.Sprintf("v1|%s|%s", j.Dispatch, j.Workload))
+}
+
+// Cells returns the number of evaluation cells the job executes: the
+// (ISA, level) compile grid for pair-synthesis jobs, the (machine
+// configuration, level) simulation grid for exploration jobs.
+func (j Job) Cells() int {
+	if j.Kind == KindExplore {
+		return len(j.Sims) * len(j.Levels)
+	}
+	return len(j.ISAs) * len(j.Levels)
 }
 
 // Points returns the job's (ISA, level) grid in deterministic order.

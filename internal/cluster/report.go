@@ -82,16 +82,18 @@ func (r Report) Print(w io.Writer) {
 	sort.Strings(names)
 	for _, n := range names {
 		wr := r.Workers[n]
-		fmt.Fprintf(w, "  worker %-12s jobs=%d failed=%d computed compile=%d profile=%d synthesize=%d\n",
+		fmt.Fprintf(w, "  worker %-12s jobs=%d failed=%d computed compile=%d profile=%d synthesize=%d simulate=%d\n",
 			n, wr.Jobs, wr.Failed,
 			wr.Stats.ComputedFor(pipeline.StageCompile),
 			wr.Stats.ComputedFor(pipeline.StageProfile),
-			wr.Stats.ComputedFor(pipeline.StageSynthesize))
+			wr.Stats.ComputedFor(pipeline.StageSynthesize),
+			wr.Stats.ComputedFor(pipeline.StageSimulate))
 	}
-	fmt.Fprintf(w, "  total computed compile=%d profile=%d synthesize=%d (%d disk hits, %d disk errors)\n",
+	fmt.Fprintf(w, "  total computed compile=%d profile=%d synthesize=%d simulate=%d (%d disk hits, %d disk errors)\n",
 		r.Stats.ComputedFor(pipeline.StageCompile),
 		r.Stats.ComputedFor(pipeline.StageProfile),
 		r.Stats.ComputedFor(pipeline.StageSynthesize),
+		r.Stats.ComputedFor(pipeline.StageSimulate),
 		r.Stats.DiskHits, r.Stats.DiskErrors)
 	for _, f := range r.Failures {
 		fmt.Fprintf(w, "  failed: %s\n", f)

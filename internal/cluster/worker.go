@@ -207,6 +207,12 @@ func (w *Worker) runJob(ctx context.Context, j Job) error {
 	if wl == nil {
 		return fmt.Errorf("cluster: unknown workload %q", j.Workload)
 	}
+	if j.Kind == KindExplore {
+		return w.runExploreJob(ctx, wl, j)
+	}
+	if j.Kind != "" {
+		return fmt.Errorf("cluster: unknown job kind %q (mixed binaries?)", j.Kind)
+	}
 	return pipeline.ForEach(ctx, w.Pipe, j.Points(), func(ctx context.Context, pt Point) error {
 		target := isa.ByName(pt.ISA)
 		if target == nil {
@@ -216,6 +222,34 @@ func (w *Worker) runJob(ctx context.Context, j Job) error {
 			return fmt.Errorf("cluster: level %d out of range", pt.Level)
 		}
 		_, err := w.Pipe.PairAt(ctx, wl, target, compiler.Levels[pt.Level])
+		return err
+	})
+}
+
+// runExploreJob executes one exploration shard: simulate the workload's
+// original and clone on every (machine configuration, level) cell
+// through the pipeline's cached Simulate stage. Every simulation (and
+// the compiles, profile, and synthesis underneath) lands in the shared
+// store, so the dispatcher can aggregate the sweep report warm.
+func (w *Worker) runExploreJob(ctx context.Context, wl *workloads.Workload, j Job) error {
+	type simCell struct {
+		sim, level int
+	}
+	var cells []simCell
+	for si := range j.Sims {
+		for _, l := range j.Levels {
+			cells = append(cells, simCell{sim: si, level: l})
+		}
+	}
+	return pipeline.ForEach(ctx, w.Pipe, cells, func(ctx context.Context, c simCell) error {
+		cfg, err := j.Sims[c.sim].Config()
+		if err != nil {
+			return fmt.Errorf("cluster: explore job %s: %w", j.Workload, err)
+		}
+		if c.level < 0 || c.level >= len(compiler.Levels) {
+			return fmt.Errorf("cluster: level %d out of range", c.level)
+		}
+		_, err = w.Pipe.SimulatePair(ctx, wl, cfg.ISA, compiler.Levels[c.level], cfg, j.SimMaxInstrs)
 		return err
 	})
 }

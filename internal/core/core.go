@@ -235,7 +235,7 @@ func measureClone(prog *hlc.Program, budget uint64) (uint64, [isa.NumClasses]uin
 		Hook:      func(ev *vm.Event) { mix[ev.Instr.Class()]++ },
 	})
 	if err != nil {
-		if _, ok := err.(*vm.Trap); ok && res.DynInstrs >= budget {
+		if t, ok := err.(*vm.Trap); ok && t.Reason == vm.TrapBudgetExhausted {
 			return res.DynInstrs, mix, nil // budget exhausted: report the cap
 		}
 		return 0, mix, err

@@ -64,9 +64,53 @@ type Result struct {
 	Run         vm.Result
 }
 
+// Summary is the serializable core of a Result: everything the design-
+// space exploration engine ranks on, without the VM run details (whose
+// printed output can be large and is already covered by validation). It
+// is the artifact kind the pipeline's Simulate stage persists.
+type Summary struct {
+	// Machine names the simulated configuration.
+	Machine string `json:"machine"`
+	// Cycles, Instrs, CPI, and TimeSec summarize the timed execution.
+	Cycles  uint64  `json:"cycles"`
+	Instrs  uint64  `json:"instrs"`
+	CPI     float64 `json:"cpi"`
+	TimeSec float64 `json:"timeSec"`
+	// L1 and L2 are the data-cache access statistics.
+	L1 cache.Stats `json:"l1"`
+	L2 cache.Stats `json:"l2"`
+	// BranchAcc, Branches, and Mispredicts summarize branch prediction.
+	BranchAcc   float64 `json:"branchAcc"`
+	Branches    uint64  `json:"branches"`
+	Mispredicts uint64  `json:"mispredicts"`
+}
+
+// Summary extracts the serializable core of the result.
+func (r Result) Summary() Summary {
+	return Summary{
+		Machine: r.Machine, Cycles: r.Cycles, Instrs: r.Instrs,
+		CPI: r.CPI, TimeSec: r.TimeSec, L1: r.L1, L2: r.L2,
+		BranchAcc: r.BranchAcc, Branches: r.Branches, Mispredicts: r.Mispredicts,
+	}
+}
+
+// IPC returns instructions per cycle (0 when no cycles elapsed).
+func (s Summary) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Instrs) / float64(s.Cycles)
+}
+
 // Simulate runs prog on the configured machine model. setup (optional)
-// installs workload inputs into the VM before execution.
+// installs workload inputs into the VM before execution. A nonzero
+// maxInstrs bounds the simulated execution; a run that exhausts the
+// budget is a valid (truncated) measurement, not an error — sampled
+// simulation is how design-space sweeps stay affordable.
 func Simulate(prog *isa.Program, setup func(*vm.VM) error, cfg Config, maxInstrs uint64) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
 	if cfg.EPIC != cfg.ISA.EPIC {
 		return Result{}, fmt.Errorf("cpu: machine %s EPIC=%v but ISA %s EPIC=%v",
 			cfg.Name, cfg.EPIC, cfg.ISA.Name, cfg.ISA.EPIC)
@@ -90,7 +134,11 @@ func Simulate(prog *isa.Program, setup func(*vm.VM) error, cfg Config, maxInstrs
 	}
 	runRes, err := m.Run(vm.Config{Hook: model.observe, MaxInstrs: maxInstrs})
 	if err != nil {
-		return Result{}, err
+		t, ok := err.(*vm.Trap)
+		if !ok || maxInstrs == 0 || t.Reason != vm.TrapBudgetExhausted {
+			return Result{}, err
+		}
+		// Instruction budget exhausted: keep the truncated measurement.
 	}
 	res := model.finish()
 	res.Machine = cfg.Name
@@ -139,10 +187,10 @@ func latencyFor(class isa.Class) uint64 {
 func newHierarchy(cfg Config) *cache.Hierarchy {
 	return &cache.Hierarchy{
 		L1: cache.New(cache.Config{
-			Name: "L1D", Size: cfg.L1KB * 1024, LineSize: 32, Assoc: maxInt(cfg.L1Assoc, 1),
+			Name: "L1D", Size: cfg.L1KB * 1024, LineSize: 32, Assoc: max(cfg.L1Assoc, 1),
 		}),
 		L2: cache.New(cache.Config{
-			Name: "L2", Size: cfg.L2KB * 1024, LineSize: 32, Assoc: maxInt(cfg.L2Assoc, 1),
+			Name: "L2", Size: cfg.L2KB * 1024, LineSize: 32, Assoc: max(cfg.L2Assoc, 1),
 		}),
 		L1Lat:  cfg.L1Lat,
 		L2Lat:  cfg.L2Lat,
@@ -192,7 +240,7 @@ func newOoOModel(prog *isa.Program, cfg Config) *ooOModel {
 		hier:     newHierarchy(cfg),
 		pred:     newPredictor(cfg),
 		regReady: make([]uint64, maxRegs+1),
-		rob:      make([]uint64, maxInt(cfg.ROB, 8)),
+		rob:      make([]uint64, max(cfg.ROB, 8)),
 	}
 }
 
@@ -265,7 +313,7 @@ func (m *ooOModel) observe(ev *vm.Event) {
 
 func (m *ooOModel) finish() Result {
 	res := Result{
-		Cycles:      maxU64(m.cycle, m.lastCompletion),
+		Cycles:      max(m.cycle, m.lastCompletion),
 		L1:          m.hier.L1.Stats,
 		L2:          m.hier.L2.Stats,
 		Branches:    m.stats.branches,
@@ -373,7 +421,7 @@ func (m *epicModel) observe(ev *vm.Event) {
 
 func (m *epicModel) finish() Result {
 	res := Result{
-		Cycles:      maxU64(m.cycle, m.lastCompletion),
+		Cycles:      max(m.cycle, m.lastCompletion),
 		L1:          m.hier.L1.Stats,
 		L2:          m.hier.L2.Stats,
 		Branches:    m.stats.branches,
@@ -385,18 +433,4 @@ func (m *epicModel) finish() Result {
 		res.BranchAcc = 1
 	}
 	return res
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}
-
-func maxU64(a, b uint64) uint64 {
-	if a > b {
-		return a
-	}
-	return b
 }

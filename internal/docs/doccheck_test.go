@@ -19,6 +19,7 @@ var guardedPackages = []string{
 	"../profile",
 	"../store",
 	"../cluster",
+	"../explore",
 }
 
 // TestExportedIdentifiersDocumented fails for every exported package-level

@@ -14,6 +14,7 @@ package experiments
 
 import (
 	"context"
+	"fmt"
 	"sync"
 
 	"repro/internal/isa"
@@ -31,6 +32,32 @@ const CloneSeed = 20100321 // IISWC 2010 paper vintage
 // benchmarks) used by the per-machine sweeps where the full cross product
 // would dominate test time.
 func Full() []*workloads.Workload { return workloads.All() }
+
+// Tiny returns the three-workload smoke suite used by fast CI paths.
+func Tiny() []*workloads.Workload {
+	var out []*workloads.Workload
+	for _, n := range []string{"crc32/small", "dijkstra/small", "fft/small1"} {
+		if w := workloads.ByName(n); w != nil {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// Suite resolves a suite name — tiny, quick, or full — to its workload
+// set. It is the single resolution path shared by the CLI, the HTTP
+// service, and the exploration engine.
+func Suite(name string) ([]*workloads.Workload, error) {
+	switch name {
+	case "tiny":
+		return Tiny(), nil
+	case "quick":
+		return Quick(), nil
+	case "full":
+		return Full(), nil
+	}
+	return nil, fmt.Errorf("unknown suite %q (want tiny, quick, or full)", name)
+}
 
 // Quick returns the representative subset.
 func Quick() []*workloads.Workload {

@@ -1,0 +1,52 @@
+package explore
+
+import (
+	"repro/internal/cluster"
+	"repro/internal/cpu"
+)
+
+// ClusterSpec translates a resolved sweep into a cluster dispatch spec:
+// one exploration job per workload, each simulating every design point
+// at every level. seed, profileISA, and profileLevel pin the pipeline
+// options every worker must share (see cluster.PipelineOptions), so the
+// fleet's simulation keys match the dispatcher's by construction.
+//
+// After the queue drains, Run over the same store aggregates the report
+// without recomputing anything — every cell is a warm simulate hit.
+func (sw *Sweep) ClusterSpec(seed int64, profileISA string, profileLevel int) cluster.Spec {
+	names := make([]string, len(sw.Workloads))
+	for i, w := range sw.Workloads {
+		names[i] = w.Name
+	}
+	// The compile grid's ISAs are the distinct point ISAs, in point
+	// order (a sweep normally has exactly one: the baseline's).
+	var isas []string
+	seen := map[string]bool{}
+	points := make([]cpu.ConfigSpec, len(sw.Points))
+	for i, pt := range sw.Points {
+		points[i] = pt.Spec
+		if !seen[pt.Spec.ISA] {
+			seen[pt.Spec.ISA] = true
+			isas = append(isas, pt.Spec.ISA)
+		}
+	}
+	levels := make([]int, len(sw.Levels))
+	for i, l := range sw.Levels {
+		levels[i] = int(l)
+	}
+	suite := sw.Spec.Suite
+	if suite == "" {
+		suite = "explore"
+	}
+	return cluster.Spec{
+		Suite:        suite,
+		Workloads:    names,
+		ISAs:         isas,
+		Levels:       levels,
+		Seed:         seed,
+		ProfileISA:   profileISA,
+		ProfileLevel: profileLevel,
+		Explore:      points,
+		SimMaxInstrs: sw.Spec.MaxInstrs,
+	}
+}

@@ -1,0 +1,193 @@
+package explore
+
+import (
+	"context"
+
+	"repro/internal/compiler"
+	"repro/internal/pipeline"
+	"repro/internal/stats"
+	"repro/internal/workloads"
+)
+
+// cell is one (point, workload, level) evaluation of a sweep.
+type cell struct {
+	pi, wi, li int
+}
+
+// cells enumerates a sweep's evaluation grid in deterministic order:
+// point-major, then workload, then level. Cell index is the aggregation
+// order, so results are identical for any worker count.
+func (sw *Sweep) cells() []cell {
+	out := make([]cell, 0, len(sw.Points)*len(sw.Workloads)*len(sw.Levels))
+	for pi := range sw.Points {
+		for wi := range sw.Workloads {
+			for li := range sw.Levels {
+				out = append(out, cell{pi: pi, wi: wi, li: li})
+			}
+		}
+	}
+	return out
+}
+
+// Run evaluates the sweep on p's worker pool: every cell simulates the
+// original and its clone through the pipeline's cached Simulate stage,
+// then the per-point metrics and the ranked report are aggregated in
+// deterministic cell order. A warm rerun of the same sweep over the same
+// store computes zero simulate-stage artifacts.
+func Run(ctx context.Context, p *pipeline.Pipeline, sw *Sweep) (*Report, error) {
+	cs := sw.cells()
+	pairs, err := pipeline.Map(ctx, p, cs, func(ctx context.Context, c cell) (pipeline.SimPair, error) {
+		pt := sw.Points[c.pi]
+		return p.SimulatePair(ctx, sw.Workloads[c.wi], pt.Config().ISA, sw.Levels[c.li],
+			pt.Config(), sw.Spec.MaxInstrs)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return buildReport(sw, cs, pairs), nil
+}
+
+// RunWorkload evaluates every (point, level) cell of one workload,
+// populating the simulation cache without aggregating a report — the
+// library entry point for embedding a per-workload drain. It mirrors
+// cluster.Worker's exploration-job execution (which re-implements the
+// same SimulatePair loop because cluster cannot import this package);
+// both paths reduce to identical SimulatePair calls, and two tests pin
+// them together: TestRunWorkloadWarmsRun (RunWorkload leaves Run with
+// zero simulate computations) and cmd/synth's TestClusterExploreSharded
+// (a sharded drain's store is byte-identical to a solo run's).
+func RunWorkload(ctx context.Context, p *pipeline.Pipeline, sw *Sweep, w *workloads.Workload) error {
+	type pl struct {
+		pi int
+		l  compiler.OptLevel
+	}
+	var jobs []pl
+	for pi := range sw.Points {
+		for _, l := range sw.Levels {
+			jobs = append(jobs, pl{pi: pi, l: l})
+		}
+	}
+	return pipeline.ForEach(ctx, p, jobs, func(ctx context.Context, j pl) error {
+		pt := sw.Points[j.pi]
+		_, err := p.SimulatePair(ctx, w, pt.Config().ISA, j.l, pt.Config(), sw.Spec.MaxInstrs)
+		return err
+	})
+}
+
+// buildReport aggregates the sweep's cell results into per-point rows,
+// speedup predictions against the baseline point, and the Pareto
+// frontier over (clone accuracy, design performance).
+func buildReport(sw *Sweep, cs []cell, pairs []pipeline.SimPair) *Report {
+	rep := &Report{
+		Name:      sw.Spec.Name,
+		Levels:    levelNames(sw.Levels),
+		Workloads: workloadNames(sw.Workloads),
+		Cells:     len(cs),
+	}
+
+	points := make([]*PointResult, len(sw.Points))
+	for pi, pt := range sw.Points {
+		points[pi] = &PointResult{Point: pt}
+	}
+	var allOrig, allSyn []float64
+	for i, c := range cs {
+		pr := points[c.pi]
+		pr.origCPI = append(pr.origCPI, pairs[i].Orig.CPI)
+		pr.synCPI = append(pr.synCPI, pairs[i].Syn.CPI)
+		pr.origIPC = append(pr.origIPC, pairs[i].Orig.IPC())
+		pr.OrigCycles += pairs[i].Orig.Cycles
+		pr.SynCycles += pairs[i].Syn.Cycles
+		pr.OrigTimeSec += pairs[i].Orig.TimeSec
+		pr.SynTimeSec += pairs[i].Syn.TimeSec
+		allOrig = append(allOrig, pairs[i].Orig.CPI)
+		allSyn = append(allSyn, pairs[i].Syn.CPI)
+	}
+	for _, pr := range points {
+		pr.OrigCPI = stats.Mean(pr.origCPI)
+		pr.SynCPI = stats.Mean(pr.synCPI)
+		pr.MeanIPC = stats.Mean(pr.origIPC)
+		pr.CPIErr = stats.MeanRelErr(pr.synCPI, pr.origCPI)
+		pr.MaxCPIErr = stats.MaxRelErr(pr.synCPI, pr.origCPI)
+		pr.CPICorr = stats.Pearson(pr.origCPI, pr.synCPI)
+	}
+
+	// Speedup against the baseline (point 0): the original's measured
+	// speedup versus the clone's predicted one. Wall-clock time when the
+	// configurations carry frequencies, total cycles otherwise.
+	base := points[0]
+	for _, pr := range points {
+		pr.SpeedupOrig = ratio(base.OrigTimeSec, pr.OrigTimeSec, base.OrigCycles, pr.OrigCycles)
+		pr.SpeedupSyn = ratio(base.SynTimeSec, pr.SynTimeSec, base.SynCycles, pr.SynCycles)
+		if pr.SpeedupOrig > 0 {
+			pr.SpeedupErr = abs(pr.SpeedupSyn-pr.SpeedupOrig) / pr.SpeedupOrig
+		}
+	}
+
+	markPareto(points)
+
+	rep.Points = make([]PointResult, len(points))
+	for i, pr := range points {
+		rep.Points[i] = *pr
+	}
+	rep.Correlation = stats.Pearson(allOrig, allSyn)
+	rep.rank(sw.Spec.TopK)
+	return rep
+}
+
+// ratio computes base/point over times when both are positive, falling
+// back to cycles (frequency-less configurations simulate time as zero).
+func ratio(baseTime, ptTime float64, baseCycles, ptCycles uint64) float64 {
+	if baseTime > 0 && ptTime > 0 {
+		return baseTime / ptTime
+	}
+	if ptCycles == 0 {
+		return 0
+	}
+	return float64(baseCycles) / float64(ptCycles)
+}
+
+// abs avoids importing math for one absolute value.
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// markPareto flags the points on the Pareto frontier of (CPIErr down,
+// MeanIPC up): a point is dominated if some other point tracks the
+// original at least as accurately and runs at least as fast, strictly
+// better in one of the two.
+func markPareto(points []*PointResult) {
+	for _, p := range points {
+		p.Pareto = true
+		for _, q := range points {
+			if q == p {
+				continue
+			}
+			if q.CPIErr <= p.CPIErr && q.MeanIPC >= p.MeanIPC &&
+				(q.CPIErr < p.CPIErr || q.MeanIPC > p.MeanIPC) {
+				p.Pareto = false
+				break
+			}
+		}
+	}
+}
+
+// levelNames renders an optimization-level list.
+func levelNames(levels []compiler.OptLevel) []string {
+	out := make([]string, len(levels))
+	for i, l := range levels {
+		out[i] = l.String()
+	}
+	return out
+}
+
+// workloadNames renders a workload list.
+func workloadNames(ws []*workloads.Workload) []string {
+	out := make([]string, len(ws))
+	for i, w := range ws {
+		out[i] = w.Name
+	}
+	return out
+}

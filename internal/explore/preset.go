@@ -1,0 +1,39 @@
+package explore
+
+import "fmt"
+
+// Presets are named, built-in sweep specifications: `synth explore
+// -preset NAME` runs them without a spec file, and EXPERIMENTS.md's
+// regeneration blocks reference them so recorded sweeps stay
+// reproducible as the presets evolve in lockstep with the code.
+
+// Calibration returns the sweep that picked the default Fig. 10
+// simulated-OoO configuration: a quick-suite sweep around the paper's
+// 2-wide PTLSim setup over the axes that set how far memory behavior
+// separates the workloads' CPIs (window shape and memory-system depth).
+// The winning point — highest orig/syn CPI correlation with CPIs spread
+// over a usable range — became cpu.Simulated2Wide's defaults; see
+// EXPERIMENTS.md for the recorded before/after.
+func Calibration() Spec {
+	return Spec{
+		Name:   "fig10-calibration",
+		Suite:  "quick",
+		Levels: []int{2},
+		Base:   "2-wide OoO",
+		Axes: map[string][]any{
+			"memLat": []any{150.0, 300.0, 500.0},
+			"l2KB":   []any{64.0, 512.0},
+			"l2Lat":  []any{12.0, 24.0},
+			"rob":    []any{16.0, 64.0},
+		},
+	}
+}
+
+// Preset returns a named built-in sweep spec.
+func Preset(name string) (Spec, error) {
+	switch name {
+	case "calibration":
+		return Calibration(), nil
+	}
+	return Spec{}, fmt.Errorf("explore: unknown preset %q (known: calibration)", name)
+}

@@ -40,16 +40,20 @@ type Key struct {
 	// (Compiler or profiler changes are not fingerprinted: those require
 	// a store.SchemaVersion bump or a fresh store directory.)
 	Src string
+	// Sim scopes Simulate artifacts to one machine configuration and
+	// simulation bound: the cpu.Config fingerprint plus the instruction
+	// budget ("<fingerprint>:<maxInstrs>"). Empty on every other stage.
+	Sim string
 }
 
 // Canonical returns the versioned, unambiguous encoding of the key that
 // disk entries store and verify. Changing this format is a store schema
-// change: bump store.SchemaVersion alongside it.
+// change: bump store.SchemaVersion alongside it (v2 added the Sim field).
 func (k Key) Canonical() string {
-	return fmt.Sprintf("v1|%d|%s|%s|%d|%d|%t|%s|%d|%d|%d|%d|%d|%s",
+	return fmt.Sprintf("v2|%d|%s|%s|%d|%d|%t|%s|%d|%d|%d|%d|%d|%s|%s",
 		k.Stage, k.Workload, k.ISA, k.Level, k.Seed, k.Clone,
 		k.Cache.Name, k.Cache.Size, k.Cache.LineSize, k.Cache.Assoc,
-		k.TargetDyn, k.MaxInstrs, k.Src)
+		k.TargetDyn, k.MaxInstrs, k.Src, k.Sim)
 }
 
 // Digest returns the printable content address: a 64-bit FNV-1a hash over
@@ -75,6 +79,8 @@ func (k Key) StoreKind() string {
 		return store.KindClone
 	case StageValidate:
 		return store.KindMarker
+	case StageSimulate:
+		return store.KindSim
 	}
 	return ""
 }

@@ -3,6 +3,7 @@ package pipeline
 import (
 	"fmt"
 
+	"repro/internal/cpu"
 	"repro/internal/hlc"
 	"repro/internal/isa"
 	"repro/internal/profile"
@@ -70,6 +71,19 @@ var codecClone = &codec{
 			Source:  sc.Source,
 			Profile: sc.Profile,
 		}, nil
+	},
+}
+
+// codecSim persists timing-simulation summaries, keyed by workload,
+// compilation point, and machine-configuration fingerprint, so design-
+// space sweeps resuming over a shared store recompute nothing.
+var codecSim = &codec{
+	kind: store.KindSim,
+	encode: func(v any) ([]byte, error) {
+		return store.EncodeSim(v.(cpu.Summary))
+	},
+	decode: func(data []byte) (any, error) {
+		return store.DecodeSim(data)
 	},
 }
 

@@ -13,7 +13,9 @@ import (
 // executable benchmark.
 type Stage int
 
-// Pipeline stages, in execution order.
+// Pipeline stages, in execution order. Simulate is last even though it
+// consumes Compile artifacts: it was added after Validate, and the order
+// is part of the CacheStats.Computed indexing contract.
 const (
 	StageParse Stage = iota
 	StageCheck
@@ -21,10 +23,11 @@ const (
 	StageProfile
 	StageSynthesize
 	StageValidate
+	StageSimulate
 )
 
 var stageNames = [...]string{
-	"parse", "check", "compile", "profile", "synthesize", "validate",
+	"parse", "check", "compile", "profile", "synthesize", "validate", "simulate",
 }
 
 // NumStages is the number of pipeline stages; CacheStats.Computed is

@@ -334,7 +334,7 @@ func (p *Pipeline) Validate(ctx context.Context, w *workloads.Workload) error {
 		}
 		res, err := vm.New(prog).Run(vm.Config{MaxInstrs: validateBudget})
 		if err != nil {
-			if _, ok := err.(*vm.Trap); !ok || res.DynInstrs < validateBudget {
+			if t, ok := err.(*vm.Trap); !ok || t.Reason != vm.TrapBudgetExhausted {
 				return nil, &StageError{Stage: StageValidate, Workload: w.Name, Clone: true, Err: err}
 			}
 		}

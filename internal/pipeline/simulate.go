@@ -1,0 +1,119 @@
+package pipeline
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/compiler"
+	"repro/internal/cpu"
+	"repro/internal/isa"
+	"repro/internal/workloads"
+)
+
+// This file is the Simulate stage: timing simulation of a compiled
+// program — original or clone — on one machine configuration, as a
+// first-class cached pipeline artifact. The key carries the machine
+// config's content fingerprint (cpu.Config.Fingerprint) alongside the
+// usual workload/ISA/level coordinates, so a design-space sweep that
+// revisits a (workload, level, config) point — a warm `synth explore`
+// rerun, a cluster worker re-leasing a shard, an overlapping sweep —
+// recomputes nothing.
+
+// simKey builds the Simulate-stage cache key. Clone simulations extend
+// the clone-artifact key (seed, profiling point, target-dyn, profiling
+// bound) so that clones synthesized under different options never share
+// simulation artifacts; original simulations are keyed by the compile
+// point alone. The simulation bound rides inside Sim, not MaxInstrs —
+// the MaxInstrs field means "profiling bound" on clone-derived keys and
+// must keep meaning that.
+func (p *Pipeline) simKey(w *workloads.Workload, target *isa.Desc, level compiler.OptLevel, cfg cpu.Config, clone bool, maxInstrs uint64) Key {
+	var k Key
+	if clone {
+		k = p.cloneKey(StageSimulate, w)
+	} else {
+		k = Key{Stage: StageSimulate, Workload: w.Name, Src: srcID(w)}
+	}
+	k.ISA, k.Level = target.Name, level
+	k.Sim = fmt.Sprintf("%s:%d", cfg.Fingerprint(), maxInstrs)
+	return k
+}
+
+// Simulate runs the Simulate stage: execute the workload (clone=false)
+// or its synthetic clone (clone=true), compiled at (target, level), on
+// the machine configuration cfg, bounded by maxInstrs dynamic
+// instructions (0 = unbounded). Results are cached and persisted under
+// the config's fingerprint.
+func (p *Pipeline) Simulate(ctx context.Context, w *workloads.Workload, target *isa.Desc, level compiler.OptLevel, cfg cpu.Config, clone bool, maxInstrs uint64) (cpu.Summary, error) {
+	if err := ctx.Err(); err != nil {
+		return cpu.Summary{}, err
+	}
+	if err := cfg.Validate(); err != nil {
+		return cpu.Summary{}, &StageError{Stage: StageSimulate, Workload: w.Name,
+			ISA: target.Name, Level: level, Clone: clone, Err: err}
+	}
+	key := p.simKey(w, target, level, cfg, clone, maxInstrs)
+	v, err := p.cache.do(ctx, key, codecSim, func() (any, error) {
+		var (
+			prog *isa.Program
+			err  error
+		)
+		if clone {
+			prog, err = p.CompileClone(ctx, w, target, level)
+		} else {
+			prog, err = p.Compile(ctx, w, target, level)
+		}
+		if err != nil {
+			return nil, err
+		}
+		setup := w.Setup
+		if clone {
+			setup = nil // clones are self-contained and need no inputs
+		}
+		res, err := cpu.Simulate(prog, setup, cfg, maxInstrs)
+		if err != nil {
+			return nil, &StageError{Stage: StageSimulate, Workload: w.Name,
+				ISA: target.Name, Level: level, Clone: clone, Err: err}
+		}
+		return res.Summary(), nil
+	})
+	if err != nil {
+		return cpu.Summary{}, err
+	}
+	return v.(cpu.Summary), nil
+}
+
+// SimPair holds the original's and the clone's simulation summaries at
+// one (workload, level, machine configuration) design point.
+type SimPair struct {
+	// Orig and Syn are the original's and clone's summaries.
+	Orig cpu.Summary `json:"orig"`
+	Syn  cpu.Summary `json:"syn"`
+}
+
+// SimulatePair simulates both the original and the synthetic clone at
+// one design point, sharing compile/profile/synthesis work through the
+// cache. It is the unit of work one exploration cell costs.
+func (p *Pipeline) SimulatePair(ctx context.Context, w *workloads.Workload, target *isa.Desc, level compiler.OptLevel, cfg cpu.Config, maxInstrs uint64) (SimPair, error) {
+	orig, err := p.Simulate(ctx, w, target, level, cfg, false, maxInstrs)
+	if err != nil {
+		return SimPair{}, err
+	}
+	syn, err := p.Simulate(ctx, w, target, level, cfg, true, maxInstrs)
+	if err != nil {
+		return SimPair{}, err
+	}
+	return SimPair{Orig: orig, Syn: syn}, nil
+}
+
+// SimKeys returns the keys of the two simulation artifacts a
+// SimulatePair call persists (original first, clone second), mirroring
+// Simulate's key construction the way PairKeys mirrors PairAt's. The
+// cluster coordinator probes these (on top of PairKeys) to deduplicate
+// exploration jobs against already-stored sweeps;
+// TestSimKeysMatchStoredDigests guards against drift.
+func (p *Pipeline) SimKeys(w *workloads.Workload, target *isa.Desc, level compiler.OptLevel, cfg cpu.Config, maxInstrs uint64) []Key {
+	return []Key{
+		p.simKey(w, target, level, cfg, false, maxInstrs),
+		p.simKey(w, target, level, cfg, true, maxInstrs),
+	}
+}

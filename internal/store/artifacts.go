@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/cpu"
 	"repro/internal/isa"
 	"repro/internal/profile"
 )
@@ -105,6 +106,28 @@ func DecodeClone(data []byte) (*Clone, error) {
 		return nil, fmt.Errorf("store: decode clone: empty source")
 	}
 	return &c, nil
+}
+
+// EncodeSim serializes a timing-simulation summary — the artifact the
+// pipeline's Simulate stage persists, keyed by workload, compilation
+// point, and machine-configuration fingerprint.
+func EncodeSim(s cpu.Summary) ([]byte, error) {
+	if s.Instrs == 0 {
+		return nil, fmt.Errorf("store: encode sim: empty simulation (no instructions)")
+	}
+	return json.Marshal(s)
+}
+
+// DecodeSim deserializes a timing-simulation summary.
+func DecodeSim(data []byte) (cpu.Summary, error) {
+	var s cpu.Summary
+	if err := json.Unmarshal(data, &s); err != nil {
+		return cpu.Summary{}, fmt.Errorf("store: decode sim: %w", err)
+	}
+	if s.Instrs == 0 {
+		return cpu.Summary{}, fmt.Errorf("store: decode sim: empty simulation")
+	}
+	return s, nil
 }
 
 // markerPayload is the fixed payload of validation markers.

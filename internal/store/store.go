@@ -27,8 +27,9 @@ import (
 
 // SchemaVersion is the store's on-disk schema. Entries written under a
 // different version are treated as misses, so a schema bump invalidates an
-// old store directory without breaking readers.
-const SchemaVersion = 1
+// old store directory without breaking readers. Version 2 added the
+// simulation-config fingerprint to the pipeline's canonical keys.
+const SchemaVersion = 2
 
 // Artifact kinds. An entry's kind must match the reader's expectation, so
 // a digest collision between two different artifact types reads as a miss.
@@ -37,6 +38,7 @@ const (
 	KindProgram = "program" // a compiled isa.Program
 	KindClone   = "clone"   // a synthesized clone (source + report + profile)
 	KindMarker  = "marker"  // a validation marker carrying no payload data
+	KindSim     = "sim"     // a timing-simulation summary (cpu.Summary)
 )
 
 // Store is a content-addressed artifact store rooted at one directory.

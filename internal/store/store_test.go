@@ -2,6 +2,7 @@ package store_test
 
 import (
 	"bytes"
+	"fmt"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -9,6 +10,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/compiler"
+	"repro/internal/cpu"
 	"repro/internal/hlc"
 	"repro/internal/isa"
 	"repro/internal/profile"
@@ -183,6 +185,36 @@ func TestStoreCloneRoundTrip(t *testing.T) {
 	}
 }
 
+func TestStoreSimRoundTrip(t *testing.T) {
+	s := cpu.Summary{
+		Machine: "2-wide OoO", Cycles: 123456, Instrs: 100000,
+		CPI: 1.23456, TimeSec: 0.000123456,
+		L1: cache.Stats{Accesses: 40000, Misses: 1200},
+		L2: cache.Stats{Accesses: 1200, Misses: 300},
+		BranchAcc: 0.97, Branches: 9000, Mispredicts: 270,
+	}
+	enc, err := store.EncodeSim(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := store.DecodeSim(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != s {
+		t.Errorf("decoded summary differs:\n%+v\n%+v", got, s)
+	}
+	if _, err := store.EncodeSim(cpu.Summary{}); err == nil {
+		t.Error("encode accepted an empty simulation")
+	}
+	if _, err := store.DecodeSim([]byte(`{"instrs":0}`)); err == nil {
+		t.Error("decode accepted an empty simulation")
+	}
+	if _, err := store.DecodeSim([]byte(`not json`)); err == nil {
+		t.Error("decode accepted garbage")
+	}
+}
+
 // TestStoreGetPut exercises the envelope contract: hits require matching
 // digest, kind, key, schema, and checksum.
 func TestStoreGetPut(t *testing.T) {
@@ -249,7 +281,7 @@ func TestStoreCorruptionIsMiss(t *testing.T) {
 		},
 		"stale schema": func(p string) error {
 			data, _ := os.ReadFile(p)
-			data = bytes.Replace(data, []byte(`"schema":1`), []byte(`"schema":999`), 1)
+			data = bytes.Replace(data, []byte(fmt.Sprintf(`"schema":%d`, store.SchemaVersion)), []byte(`"schema":999`), 1)
 			return os.WriteFile(p, data, 0o644)
 		},
 		"empty file": func(p string) error {
@@ -271,7 +303,8 @@ func TestStoreCorruptionIsMiss(t *testing.T) {
 }
 
 // TestStoreFingerprintGolden pins the checksum function across processes
-// and platforms: these values must never change while SchemaVersion is 1,
+// and platforms: these values must never change while the envelope checksum
+// is FNV-1a,
 // or every existing store silently invalidates.
 func TestStoreFingerprintGolden(t *testing.T) {
 	golden := map[string]string{

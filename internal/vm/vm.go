@@ -154,6 +154,13 @@ type frame struct {
 	argBase int64     // caller slot base of this call's arguments (unused after entry)
 }
 
+// TrapBudgetExhausted is the Reason of the trap raised when a Run hits
+// its MaxInstrs bound. Callers that treat a truncated execution as a
+// valid sampled measurement (cpu.Simulate) must discriminate on this
+// reason — instruction counts alone cannot distinguish a genuine fault
+// on the last in-budget instruction from the budget itself.
+const TrapBudgetExhausted = "instruction budget exhausted"
+
 // Trap is the error type for runtime faults (out-of-bounds access, division
 // by zero, instruction budget exhaustion, stack overflow).
 type Trap struct {
@@ -227,7 +234,7 @@ func (vm *VM) Run(cfg Config) (Result, error) {
 
 	for {
 		if res.DynInstrs >= maxInstrs {
-			return trap("instruction budget exhausted")
+			return trap(TrapBudgetExhausted)
 		}
 		blk := cur.fn.Blocks[cur.block]
 		in := &blk.Instrs[cur.index]
