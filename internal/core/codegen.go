@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 
 	"repro/internal/hlc"
 	"repro/internal/isa"
@@ -34,6 +35,25 @@ type generator struct {
 	usedFloat [sfgl.NumMemClasses]bool
 	guardUsed bool
 
+	// Stream-walker state (streams.go): per-signature walkers for
+	// stream-profiled sites, profiled access weight per legacy class
+	// stream, and the hard-branch entropy sites.
+	walkers      []*walker
+	walkerBySig  map[walkerSpec]*walker
+	classWeight  [2][sfgl.NumMemClasses]float64
+	hardBranches map[*sfgl.BranchInfo]int
+	sharedArena  [2]bool // shared short-walker arena declared (int, float)
+	compBrUsed   bool    // the compensation loop allocated its entropy state
+	fpDivThird   bool    // FP compensation mixes divides into its chains
+
+	// missScale is Synthesize's miss-rate feedback knob: walker strides
+	// and chase working sets are derived from site miss rates multiplied
+	// by it, so the measured clone's aggregate miss rate can be steered
+	// onto the profile's. chaseBudget caps the total chase-permutation
+	// elements (their init loops are real dynamic work).
+	missScale   float64
+	chaseBudget float64
+
 	// Mix accounting for the paper's compensation mechanism: target
 	// accumulates the instruction classes of translated profile blocks,
 	// emitted accumulates the estimated O0 footprint of generated
@@ -48,15 +68,29 @@ type generator struct {
 	// compDyn is the dynamic-instruction budget for the mix-compensation
 	// loop (0 = derive a warm start from the footprint deficit);
 	// compDensity reports the loads-per-instruction density the emitted
-	// loop achieves, for Synthesize's feedback calibration.
+	// loop achieves and compTrips its emitted trip count, for Synthesize's
+	// feedback calibration. fpShare is the fraction of compensation
+	// statements emitted as float chains, closing the FP-operation
+	// dilution the same way compDyn closes the load one; brPerIter is the
+	// number of branch statements per compensation iteration, closing the
+	// branch-density dilution with the profile's own hardness mix.
 	compDyn     float64
 	compDensity float64
+	compTrips   int
+	fpShare     float64
+	brPerIter   float64
 
 	funcs []*hlc.FuncDecl
 }
 
 func newGenerator(g *sfgl.Graph, rng *rand.Rand) *generator {
-	return &generator{g: g, rng: rng}
+	return &generator{
+		g: g, rng: rng,
+		walkerBySig:  make(map[walkerSpec]*walker),
+		hardBranches: make(map[*sfgl.BranchInfo]int),
+		missScale:    1,
+		chaseBudget:  float64(chaseBigLen),
+	}
 }
 
 func (gen *generator) coverage() float64 {
@@ -133,6 +167,11 @@ func (gen *generator) program(items []item) *hlc.Program {
 			}
 		}
 	}
+	prog.Globals = append(prog.Globals, gen.walkerDecls()...)
+	prog.Globals = append(prog.Globals, gen.hardBranchDecls()...)
+	if gen.compBrUsed {
+		prog.Globals = append(prog.Globals, &hlc.VarDecl{Name: "hbc", Type: hlc.TypeInt})
+	}
 	if gen.guardUsed {
 		prog.Globals = append(prog.Globals,
 			&hlc.VarDecl{Name: "gKeep", Type: hlc.TypeInt, ArrayLen: guardLen})
@@ -140,8 +179,9 @@ func (gen *generator) program(items []item) *hlc.Program {
 
 	prog.Funcs = append(prog.Funcs, gen.funcs...)
 
-	// main: run the work functions in order, then print anchors.
-	var mainStmts []hlc.Stmt
+	// main: shuffle the chase permutations, run the work functions in
+	// order, then print anchors.
+	mainStmts := gen.chaseInitStmts()
 	for _, f := range gen.funcs {
 		mainStmts = append(mainStmts, &hlc.ExprStmt{X: &hlc.CallExpr{Name: f.Name}})
 	}
@@ -155,6 +195,19 @@ func (gen *generator) program(items []item) *hlc.Program {
 				&hlc.IndexExpr{Name: floatStreamName(c), Idx: intLit(0)}}})
 		}
 	}
+	for _, w := range gen.walkers {
+		if w.kind == walkScalar {
+			mainStmts = append(mainStmts, &hlc.PrintStmt{Args: []hlc.Expr{
+				&hlc.VarRef{Name: w.scalarName(0)}}})
+			continue
+		}
+		mainStmts = append(mainStmts, &hlc.PrintStmt{Args: []hlc.Expr{
+			&hlc.IndexExpr{Name: w.arrName(), Idx: intLit(0)}}})
+		if w.kind == walkChase {
+			mainStmts = append(mainStmts, &hlc.PrintStmt{Args: []hlc.Expr{
+				&hlc.IndexExpr{Name: w.dataName(), Idx: intLit(0)}}})
+		}
+	}
 	prog.Funcs = append(prog.Funcs, &hlc.FuncDecl{
 		Name: "main", Ret: hlc.TypeVoid, Body: &hlc.Block{Stmts: mainStmts},
 	})
@@ -166,61 +219,318 @@ func (gen *generator) program(items []item) *hlc.Program {
 // reported via compDensity.
 const compDensityEstimate = 0.6
 
+// compSlots is the number of memory sources the compensation loop rotates
+// through per iteration.
+const compSlots = 12
+
+// compSources returns the integer memory sources the compensation loop
+// rotates through, allocated proportionally to each source's profiled
+// access weight (largest remainder, descending weight). This is what makes
+// the compensation traffic carry the profile's per-stream miss mix: a
+// profile dominated by always-hit scalar sites compensates with
+// constant-index loads, one with a hot irregular site compensates through
+// its chase walker, and the clone's aggregate miss rate survives the added
+// load volume. Legacy profiles without stream descriptors fall back to the
+// walking classes in use, the pre-stream behavior.
+func (gen *generator) compSources(float bool) []memRef {
+	type cand struct {
+		ref    memRef
+		weight float64
+	}
+	var cands []cand
+	var total float64
+	for _, w := range gen.walkers {
+		if w.weight <= 0 {
+			continue
+		}
+		ref := memRef{w: w}
+		switch {
+		case float && !w.float:
+			continue
+		case !float && w.float:
+			ref = memRef{w: gen.walkerForSpec(intTwin(w.walkerSpec))}
+		}
+		cands = append(cands, cand{ref, w.weight})
+		total += w.weight
+	}
+	for c := 0; c < sfgl.NumMemClasses; c++ {
+		wgt := gen.classWeight[boolIdx(float)][c]
+		if wgt <= 0 {
+			continue
+		}
+		ref := memRef{cls: c}
+		if c == 0 {
+			// Scalar weight compensates through a scalar pool, the same
+			// dense always-hit idiom the translated sites use.
+			ref = memRef{w: gen.walkerForSpec(walkerSpec{kind: walkScalar, float: float})}
+		}
+		cands = append(cands, cand{ref, wgt})
+		total += wgt
+	}
+	if total == 0 {
+		if float {
+			return []memRef{{w: gen.walkerForSpec(walkerSpec{kind: walkScalar, float: true})}}
+		}
+		var out []memRef
+		for c := 1; c < sfgl.NumMemClasses; c++ {
+			if gen.usedInt[c] || gen.usedFloat[c] {
+				out = append(out, memRef{cls: c})
+			}
+		}
+		if len(out) == 0 {
+			out = []memRef{{cls: 2}}
+		}
+		return out
+	}
+	sort.SliceStable(cands, func(i, j int) bool { return cands[i].weight > cands[j].weight })
+	var out []memRef
+	for _, c := range cands {
+		n := int(float64(compSlots)*c.weight/total + 0.5)
+		if n == 0 && len(out) == 0 {
+			n = 1
+		}
+		for i := 0; i < n && len(out) < compSlots; i++ {
+			out = append(out, c.ref)
+		}
+		if len(out) >= compSlots {
+			break
+		}
+	}
+	for len(out) < compSlots {
+		out = append(out, cands[0].ref)
+	}
+	// Cap walking sources at a third of the slots: walker references are
+	// markedly less load-dense than scalar ones, and an over-walked loop
+	// cannot reach load-heavy profiles' fractions within the size
+	// ceiling. The miss volume trimmed here comes back through the
+	// missScale feedback on the translated walkers.
+	nonSmall := 0
+	for i, r := range out {
+		if !r.small() {
+			nonSmall++
+			if nonSmall > compSlots/3 {
+				out[i] = memRef{w: gen.walkerForSpec(walkerSpec{kind: walkScalar, float: float})}
+			}
+		}
+	}
+	return out
+}
+
+// refCost estimates one compensation reference's -O0 footprint.
+func refCost(r memRef) (loads, instrs float64) {
+	if r.w != nil && r.w.kind == walkScalar {
+		return 1, 1.2
+	}
+	if r.small() {
+		return 1, 2
+	}
+	return 2, 4
+}
+
+// advCost estimates one source's per-iteration advance footprint.
+func advCost(r memRef) (loads, instrs float64) {
+	switch {
+	case r.small():
+		return 0, 0
+	case r.w == nil:
+		return 1, 4
+	case r.w.kind == walkChase:
+		return 2, 3
+	}
+	return 1, 4
+}
+
+// branchMixture summarizes the scaled profile's conditional branches: the
+// dynamic fraction executed at hard (entropy-worthy) sites, and those hard
+// sites ordered by execution weight for the compensation loop to draw
+// taken rates from.
+func (gen *generator) branchMixture() (hardFrac float64, hard []*sfgl.BranchInfo) {
+	var total, hardTotal float64
+	for _, n := range gen.g.Nodes {
+		if n.Branch == nil {
+			continue
+		}
+		total += float64(n.Branch.Total)
+		if n.Branch.Hard {
+			hardTotal += float64(n.Branch.Total)
+			hard = append(hard, n.Branch)
+		}
+	}
+	sort.SliceStable(hard, func(i, j int) bool { return hard[i].Total > hard[j].Total })
+	if total == 0 {
+		return 0, hard
+	}
+	return hardTotal / total, hard
+}
+
 // mixCompensationFunc is the paper's global mix compensation: after pattern
 // translation, a final work function makes up the clone's load deficit with
-// a counted loop of load-dense stride statements. Translation overhead
-// (loop iterators, walking indices, address masks) is constant- and
-// ALU-heavy, so without this step clones systematically under-represent
-// loads relative to their originals (Fig. 6). The loop's dynamic size comes
-// from gen.compDyn, which Synthesize calibrates by executing the candidate
-// clone and measuring its actual mix; a zero budget emits nothing.
+// a counted loop of load-dense statements over the clone's own memory
+// sources (see compSources). Translation overhead (loop iterators, walking
+// indices, address masks) is constant- and ALU-heavy, so without this step
+// clones systematically under-represent loads relative to their originals
+// (Fig. 6). The loop's dynamic size comes from gen.compDyn, which
+// Synthesize calibrates by executing the candidate clone and measuring its
+// actual mix; a zero budget emits nothing.
 func (gen *generator) mixCompensationFunc() *hlc.FuncDecl {
 	if gen.compDyn < 1 {
 		return nil
 	}
-	// Rotate through the walking classes already in use so the extra
-	// traffic keeps the clone's Table I stride behavior; a clone with no
-	// walking traffic at all gets one mid-stride class.
-	var classes []int
-	for c := 1; c < sfgl.NumMemClasses; c++ {
-		if gen.usedInt[c] || gen.usedFloat[c] {
-			classes = append(classes, c)
-		}
-	}
-	if len(classes) == 0 {
-		classes = []int{2}
+	srcs := gen.compSources(false)
+	nFloat := int(float64(compSlots)*gen.fpShare + 0.5)
+	var fsrcs []memRef
+	if nFloat > 0 {
+		fsrcs = gen.compSources(true)
 	}
 
-	// Compound assignment over a sum of stride walks is the densest load
-	// idiom the compiler emits: A[pa] += B[pb] + ... + G[pg] with six
-	// source terms is 14 loads in 22 -O0 instructions. The store between
-	// statements keeps local CSE from collapsing the loads at higher
-	// optimization levels.
-	const stmtsPerIter = 12
-	const termsPerStmt = 6
+	// Compound assignment over a sum of walks is the densest load idiom
+	// the compiler emits. The store between statements keeps local CSE
+	// from collapsing the loads at higher optimization levels. The first
+	// nFloat statements are float multiply-add chains over the clone's
+	// float sources — FP compensation riding the same loop.
+	const termsPerStmt = 8
 	var body []hlc.Stmt
-	var loadsPerIter, instrsPerIter float64
-	for s := 0; s < stmtsPerIter; s++ {
-		dst := classes[s%len(classes)]
-		rhs := hlc.Expr(gen.intStreamWalk(classes[(s+1)%len(classes)], int64(s%streamPad)))
+	var emitted, emittedF []memRef
+	var loadsPerIter, instrsPerIter, fpPerIter float64
+	// Scalar references rotate through a pool of four per statement:
+	// at -O0 every occurrence is its own reload (like the stack traffic
+	// it models), and at higher levels CSE registerizes the repeats —
+	// reproducing how optimization shrinks the original (Fig. 5).
+	slotOf := func(r memRef, raw int) int {
+		if r.w != nil && r.w.kind == walkScalar {
+			return raw % 4
+		}
+		return raw % maxRefSlots
+	}
+	for s := 0; s < compSlots; s++ {
+		pool := srcs
+		isFloat := s < nFloat
+		if isFloat {
+			pool = fsrcs
+		}
+		dst := pool[s%len(pool)]
+		first := pool[(s+1)%len(pool)]
+		rhs := hlc.Expr(gen.srcWalk(first, slotOf(first, s), isFloat))
+		l, in := refCost(first)
+		loadsPerIter, instrsPerIter = loadsPerIter+l, instrsPerIter+in
 		for t := 1; t < termsPerStmt; t++ {
-			rhs = &hlc.BinaryExpr{Op: hlc.Plus, X: rhs,
-				Y: gen.intStreamWalk(classes[(s+1+t)%len(classes)], int64((s+t)%streamPad))}
+			term := pool[(s+1+t)%len(pool)]
+			op := hlc.Plus
+			if isFloat && t%2 == 1 {
+				op = hlc.Star
+				if gen.fpDivThird && t%4 == 1 {
+					// FP-divide-heavy profiles chain a 24-cycle divide into
+					// the statement's dependence spine (IEEE: a zero
+					// divisor yields Inf, never a trap).
+					op = hlc.Slash
+				}
+			}
+			rhs = &hlc.BinaryExpr{Op: op, X: rhs,
+				Y: gen.srcWalk(term, slotOf(term, s+t), isFloat)}
+			l, in = refCost(term)
+			loadsPerIter, instrsPerIter = loadsPerIter+l, instrsPerIter+in+1
+			if isFloat {
+				fpPerIter++
+				emittedF = append(emittedF, term)
+			} else {
+				emitted = append(emitted, term)
+			}
 		}
 		body = append(body, &hlc.AssignStmt{
-			LHS: gen.intStreamWalk(dst, 0), Op: hlc.PlusEq, RHS: rhs,
+			LHS: gen.srcWalk(dst, slotOf(dst, s), isFloat), Op: hlc.PlusEq, RHS: rhs,
 		})
-		// Each walking reference costs an index load and an element load;
-		// term offsets add a constant and an add; chained terms and the
-		// compound assignment add one ALU op each, plus the final store.
-		loadsPerIter += 2 + 2*termsPerStmt
-		instrsPerIter += 3*termsPerStmt + 4
+		l, in = refCost(dst)
+		loadsPerIter, instrsPerIter = loadsPerIter+l, instrsPerIter+in+2
+		if isFloat {
+			fpPerIter++ // the compound assignment's own FP add
+			emittedF = append(emittedF, first, dst)
+		} else {
+			emitted = append(emitted, first, dst)
+		}
 	}
-	body = append(body, gen.advances(false, 0, classes...)...)
-	loadsPerIter += float64(len(classes)) // each advance reloads its index
-	instrsPerIter += 6 * float64(len(classes))
+	seen := map[memRef]bool{}
+	for _, r := range append(append([]memRef{}, srcs...), fsrcs...) {
+		if seen[r] {
+			continue
+		}
+		seen[r] = true
+		l, in := advCost(r)
+		loadsPerIter, instrsPerIter = loadsPerIter+l, instrsPerIter+in
+	}
+	body = append(body, gen.advancesFor(emitted, false, 0)...)
+	body = append(body, gen.advancesFor(emittedF, true, 0)...)
 	loadsPerIter += 2 // loop iterator compare and increment
 	instrsPerIter += 9
+
+	// Branch compensation: nB branch statements per iteration, hard vs.
+	// easy in the profile's own proportion, with hard taken rates drawn
+	// from the profile's hottest hard sites. Without them the
+	// compensation mass dilutes the clone's mispredict density to
+	// nothing, and the timing figures lose the branch stalls that
+	// dominate irregular workloads. One shared entropy state advances per
+	// iteration and each slot tests its own bit window, so a branch costs
+	// ~7 instructions — an original's natural branch density (one per
+	// 8-10 instructions) stays reachable.
+	nB := int(gen.brPerIter + 0.5)
+	if nB > 0 {
+		gen.compBrUsed = true
+		state := &hlc.VarRef{Name: "hbc"}
+		body = append(body, &hlc.AssignStmt{
+			LHS: state, Op: hlc.Assign,
+			RHS: &hlc.BinaryExpr{Op: hlc.Amp,
+				X: &hlc.BinaryExpr{Op: hlc.Plus,
+					X: &hlc.BinaryExpr{Op: hlc.Star, X: state, Y: intLit(hbMul)},
+					Y: intLit(hbInc)},
+				Y: intLit(hbMask)},
+		})
+		loadsPerIter += 1
+		instrsPerIter += 8
+		hardFrac, kList := gen.branchMixture()
+		nHard := int(float64(nB)*hardFrac + 0.5)
+		scalar := memRef{w: gen.walkerForSpec(walkerSpec{kind: walkScalar})}
+		for j := 0; j < nB; j++ {
+			// Arms carry a scalar load chain so branch mass stays
+			// load-dense instead of trading against the mix target; the
+			// accumulation is masked so scalar values stay bounded and
+			// the easy conditions below never flip.
+			arm := &hlc.AssignStmt{
+				LHS: gen.srcWalk(scalar, j, false), Op: hlc.Assign,
+				RHS: &hlc.BinaryExpr{Op: hlc.Amp,
+					X: &hlc.BinaryExpr{Op: hlc.Plus,
+						X: gen.srcWalk(scalar, j, false),
+						Y: gen.srcWalk(scalar, j+5, false)},
+					Y: intLit(65535)},
+			}
+			var cond hlc.Expr
+			if j < nHard && len(kList) > 0 {
+				b := kList[j%len(kList)]
+				k := min(max(int64(b.TakenRate*256+0.5), 1), 255)
+				cond = &hlc.BinaryExpr{Op: hlc.Lt,
+					X: &hlc.BinaryExpr{Op: hlc.Amp,
+						X: &hlc.BinaryExpr{Op: hlc.Shr, X: state, Y: intLit(int64(j % 9))},
+						Y: intLit(255)},
+					Y: intLit(k)}
+				loadsPerIter += 1 + 2*float64(k)/256
+				instrsPerIter += 6 + 5*float64(k)/256
+			} else {
+				// Easy: a scalar comparison that always (or never) holds —
+				// predictable like the original's biased branches, and two
+				// more always-hit loads either way.
+				op := hlc.Lt
+				if j%2 == 1 {
+					op = hlc.Gt // scalar sums never exceed the huge bound
+				}
+				cond = &hlc.BinaryExpr{Op: op,
+					X: &hlc.BinaryExpr{Op: hlc.Plus,
+						X: gen.srcWalk(scalar, j+3, false),
+						Y: gen.srcWalk(scalar, j+7, false)},
+					Y: intLit(1 << 40)}
+				loadsPerIter += 2 + float64(1-j%2)*2
+				instrsPerIter += 6 + float64(1-j%2)*5
+			}
+			body = append(body, &hlc.IfStmt{Cond: cond, Then: &hlc.Block{Stmts: []hlc.Stmt{arm}}})
+		}
+	}
 
 	trip := int(gen.compDyn / instrsPerIter)
 	if trip < 1 {
@@ -229,13 +539,15 @@ func (gen *generator) mixCompensationFunc() *hlc.FuncDecl {
 	if trip > 1<<20 {
 		trip = 1 << 20
 	}
+	gen.compTrips = trip
 	gen.compDensity = loadsPerIter / instrsPerIter
 	iter := "mcomp"
 	gen.account(stmtFootprint{
 		loads:    loadsPerIter,
-		stores:   stmtsPerIter + float64(len(classes)),
-		ialu:     float64(stmtsPerIter*termsPerStmt) + 2*float64(len(classes)) + 2,
-		branches: 1,
+		stores:   compSlots + 2,
+		ialu:     float64((compSlots-nFloat)*termsPerStmt) + 6 + 3*float64(nB),
+		fpu:      fpPerIter,
+		branches: 1 + float64(nB),
 	}, float64(trip))
 	return &hlc.FuncDecl{
 		Name: fmt.Sprintf("work%d", len(gen.funcs)),
@@ -373,6 +685,11 @@ func moduloFor(takenFrac, transRate float64) (int, int) {
 }
 
 // branchStmt models a non-loop conditional branch per Section III.B.4.
+// Easy branches become always/never-taken guard tests whose dead arm
+// prints results; hard branches draw their condition from a per-site
+// entropy stream (see hardBranchStmts), so they mispredict like the
+// original's data-dependent branches instead of settling into a
+// predictor-learnable iterator pattern.
 func (gen *generator) branchStmt(b *sfgl.BranchInfo, ctx loopCtx, w float64) hlc.Stmt {
 	gen.account(stmtFootprint{branches: 1, ialu: 1, loads: 1}, w)
 	if !b.Hard {
@@ -382,20 +699,9 @@ func (gen *generator) branchStmt(b *sfgl.BranchInfo, ctx loopCtx, w float64) hlc
 		}
 		return gen.neverTakenIf([]hlc.Stmt{gen.smallStmt(0)}, w)
 	}
-	iter, ok := ctx.innermost()
-	if !ok {
-		gen.guardUsed = true
-		return gen.neverTakenIf([]hlc.Stmt{gen.smallStmt(0)}, w)
-	}
-	m, k := moduloFor(b.TakenRate, b.TransRate)
-	gen.account(stmtFootprint{ialu: 2}, w)
-	return &hlc.IfStmt{
-		Cond: &hlc.BinaryExpr{Op: hlc.Lt,
-			X: &hlc.BinaryExpr{Op: hlc.Amp, X: &hlc.VarRef{Name: iter}, Y: intLit(int64(m - 1))},
-			Y: intLit(int64(k))},
-		Then: toBlock(gen.smallStmt(w * b.TakenRate)),
-		Else: toBlock(gen.smallStmt(w * (1 - b.TakenRate))),
-	}
+	return &hlc.Block{Stmts: gen.hardBranchStmts(b,
+		[]hlc.Stmt{gen.smallStmt(w * b.TakenRate)},
+		[]hlc.Stmt{gen.smallStmt(w * (1 - b.TakenRate))}, w)}
 }
 
 // neverTakenIf wraps statements in a condition that is never true at run

@@ -31,9 +31,10 @@ const (
 )
 
 type tok struct {
-	kind tkind
-	op   isa.Opcode
-	mem  int // Table I class for loads/stores (-1 unknown)
+	kind   tkind
+	op     isa.Opcode
+	mem    int          // Table I class for loads/stores (-1 unknown)
+	stream *sfgl.Stream // per-site stride stream (nil on legacy profiles)
 }
 
 func kindOf(in sfgl.InstrInfo) tkind {
@@ -90,7 +91,7 @@ func (gen *generator) translate(n *sfgl.Node, w float64) []hlc.Stmt {
 		if k == kSkip {
 			continue
 		}
-		seq = append(seq, tok{kind: k, op: in.Op, mem: in.MemClass})
+		seq = append(seq, tok{kind: k, op: in.Op, mem: in.MemClass, stream: in.Stream})
 	}
 	gen.totalInstrs += w * float64(len(seq))
 
@@ -225,19 +226,18 @@ func (gen *generator) translate(n *sfgl.Node, w float64) []hlc.Stmt {
 
 // emitGroup renders one recognized group as an assignment statement,
 // chaining every load and operation so the clone's dynamic instruction
-// classes match the profile's.
+// classes match the profile's. Each load keeps its profiled memory source:
+// a stream walker matching its stride signature when the profile carries
+// stream descriptors, or its Table I class stream otherwise.
 func (gen *generator) emitGroup(g *group, w float64) []hlc.Stmt {
-	dst := gen.memClassOf(g.store)
-	var srcClasses []int
+	dst := gen.refFor(g.store, g.isFloat)
+	var srcs []memRef
 	for _, l := range g.loads {
-		srcClasses = append(srcClasses, gen.memClassOf(l))
+		srcs = append(srcs, gen.refFor(l, g.isFloat))
 	}
 
-	walk := func(cls int, off int64) hlc.Expr {
-		if g.isFloat {
-			return gen.floatStreamWalk(cls, off)
-		}
-		return gen.intStreamWalk(cls, off)
+	walk := func(r memRef, slot int) hlc.Expr {
+		return gen.srcWalk(r, slot, g.isFloat)
 	}
 	cst := func(tk hlc.Token) hlc.Expr {
 		if g.isFloat {
@@ -248,8 +248,8 @@ func (gen *generator) emitGroup(g *group, w float64) []hlc.Stmt {
 
 	var expr hlc.Expr
 	loadIdx := 0
-	if len(srcClasses) > 0 {
-		expr = walk(srcClasses[0], 0)
+	if len(srcs) > 0 {
+		expr = walk(srcs[0], 0)
 		loadIdx = 1
 	} else if g.isFloat {
 		expr = gen.floatConst()
@@ -274,8 +274,8 @@ func (gen *generator) emitGroup(g *group, w float64) []hlc.Stmt {
 			constOnly = false
 		}
 		var operand hlc.Expr
-		if !constOnly && loadIdx < len(srcClasses) {
-			operand = walk(srcClasses[loadIdx], int64(loadIdx))
+		if !constOnly && loadIdx < len(srcs) {
+			operand = walk(srcs[loadIdx], loadIdx)
 			loadIdx++
 		} else {
 			operand = cst(tk)
@@ -290,8 +290,8 @@ func (gen *generator) emitGroup(g *group, w float64) []hlc.Stmt {
 	// Chain any loads the operations did not absorb so the load count
 	// still matches the profile.
 	plus := hlc.Plus
-	for loadIdx < len(srcClasses) {
-		expr = &hlc.BinaryExpr{Op: plus, X: expr, Y: walk(srcClasses[loadIdx], int64(loadIdx))}
+	for loadIdx < len(srcs) {
+		expr = &hlc.BinaryExpr{Op: plus, X: expr, Y: walk(srcs[loadIdx], loadIdx)}
 		loadIdx++
 		if g.isFloat {
 			nFP++
@@ -300,35 +300,30 @@ func (gen *generator) emitGroup(g *group, w float64) []hlc.Stmt {
 		}
 	}
 
-	var lhs hlc.LValue
-	if g.isFloat {
-		lhs = gen.floatStreamWalk(dst, 0)
-	} else {
-		lhs = gen.intStreamWalk(dst, 0)
-	}
-	stmt := &hlc.AssignStmt{LHS: lhs, Op: hlc.Assign, RHS: expr}
+	stmt := &hlc.AssignStmt{LHS: gen.srcWalk(dst, 0, g.isFloat), Op: hlc.Assign, RHS: expr}
 
 	// Accounting: element accesses plus index-variable overhead (each
-	// access to a walking class reads its index; class 0 uses constant
-	// indices and costs only the element access).
+	// access through a walker or walking class reads its index; small
+	// always-hit sources use constant indices and cost only the element
+	// access).
 	walkAccesses := 0.0
-	if dst != 0 {
+	if !dst.small() {
 		walkAccesses++
 	}
-	for _, c := range srcClasses {
-		if c != 0 {
+	for _, r := range srcs {
+		if !r.small() {
 			walkAccesses++
 		}
 	}
 	gen.account(stmtFootprint{
-		loads:  float64(len(srcClasses)) + walkAccesses,
+		loads:  float64(len(srcs)) + walkAccesses,
 		stores: 1,
 		ialu:   nInt + walkAccesses,
 		fpu:    nFP,
 	}, w)
 
-	classes := append([]int{dst}, srcClasses...)
-	return append([]hlc.Stmt{stmt}, gen.advances(g.isFloat, w, classes...)...)
+	refs := append([]memRef{dst}, srcs...)
+	return append([]hlc.Stmt{stmt}, gen.advancesFor(refs, g.isFloat, w)...)
 }
 
 func intrinsicName(op isa.Opcode) string {

@@ -17,6 +17,7 @@ var guardedPackages = []string{
 	"../pipeline",
 	"../core",
 	"../profile",
+	"../sfgl",
 	"../store",
 	"../cluster",
 	"../explore",

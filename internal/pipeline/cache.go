@@ -48,9 +48,13 @@ type Key struct {
 
 // Canonical returns the versioned, unambiguous encoding of the key that
 // disk entries store and verify. Changing this format is a store schema
-// change: bump store.SchemaVersion alongside it (v2 added the Sim field).
+// change: bump store.SchemaVersion alongside it (v2 added the Sim field;
+// v3 partitions stream-profiled artifacts — profiles carry per-site
+// stride-stream descriptors and clones are synthesized from them, so
+// artifacts computed under the v2 single-class model must never be
+// served to a v3 pipeline).
 func (k Key) Canonical() string {
-	return fmt.Sprintf("v2|%d|%s|%s|%d|%d|%t|%s|%d|%d|%d|%d|%d|%s|%s",
+	return fmt.Sprintf("v3|%d|%s|%s|%d|%d|%t|%s|%d|%d|%d|%d|%d|%s|%s",
 		k.Stage, k.Workload, k.ISA, k.Level, k.Seed, k.Clone,
 		k.Cache.Name, k.Cache.Size, k.Cache.LineSize, k.Cache.Assoc,
 		k.TargetDyn, k.MaxInstrs, k.Src, k.Sim)

@@ -319,12 +319,12 @@ func TestPipelineKeyGoldenDigests(t *testing.T) {
 		want string
 	}{
 		{pipeline.Key{Stage: pipeline.StageCompile, Workload: "crc32/small",
-			ISA: "amd64v", Level: compiler.O2}, "c4a9f8dda299e349"},
+			ISA: "amd64v", Level: compiler.O2}, "ce9a97563ba69d3e"},
 		{pipeline.Key{Stage: pipeline.StageProfile, Workload: "crc32/small",
-			ISA: "amd64v", Level: compiler.O0, Cache: profCache}, "1bd7a35edb2fe076"},
+			ISA: "amd64v", Level: compiler.O0, Cache: profCache}, "ca932b9135046bab"},
 		{pipeline.Key{Stage: pipeline.StageSynthesize, Workload: "crc32/small",
 			ISA: "amd64v", Level: compiler.O0, Seed: 20100321, Clone: true,
-			Cache: profCache}, "04ed11531b53b767"},
+			Cache: profCache}, "3b7f7a9a511a446e"},
 	}
 	for i, g := range golden {
 		if got := g.key.Digest(); got != g.want {

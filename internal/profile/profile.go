@@ -10,6 +10,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 
 	"repro/internal/cache"
 	"repro/internal/ir"
@@ -30,6 +31,20 @@ type Options struct {
 
 // DefaultCache is the profiling cache configuration.
 var DefaultCache = cache.Config{Name: "profile-8KB", Size: 8 * 1024, LineSize: 32, Assoc: 2}
+
+// WideCache returns the wide profiling cache derived from the primary
+// one: 8x the capacity at doubled associativity. Per-site miss rates at
+// this second point bound each access stream's working set — a site that
+// misses the primary cache but fits the wide one is locality-bound, not
+// streaming, and the synthesizer sizes its walker's range accordingly.
+func WideCache(c cache.Config) cache.Config {
+	return cache.Config{
+		Name:     c.Name + "-wide",
+		Size:     c.Size * 8,
+		LineSize: c.LineSize,
+		Assoc:    c.Assoc * 2,
+	}
+}
 
 // Profile is the statistical profile of one workload execution.
 type Profile struct {
@@ -61,9 +76,128 @@ func (p *Profile) MixFractions() (loads, stores, branches, others float64) {
 // blockKey identifies a static basic block.
 type blockKey struct{ fn, block int }
 
-// memStat tracks one static memory instruction's cache behavior.
+// memStat tracks one static memory instruction's cache behavior and its
+// stride stream: the top-K address deltas (space-saving counters), the
+// stride-repeat count, and a tiny recent-line window for the coarse reuse
+// summary. All per-access updates are O(1) in the number of tracked
+// strides, so stream profiling does not change Collect's complexity.
 type memStat struct {
 	accesses, misses uint64
+	missesWide       uint64
+
+	last     uint64 // previous address
+	lastStr  int64  // previous stride
+	haveLast bool
+	haveStr  bool
+	repeats  uint64 // transitions whose stride repeated the previous one
+
+	strides [sfgl.StreamStrides]strideCounter
+	nStride int
+
+	recent    [reuseWindow]uint64 // recently touched line addresses
+	recentLen int
+	recentPos int
+	reuseHits uint64
+}
+
+// strideCounter is one space-saving bucket of a site's stride histogram.
+type strideCounter struct {
+	stride int64
+	count  uint64
+}
+
+// reuseWindow is the recent-line window size behind Stream.ShortReuse.
+const reuseWindow = 4
+
+// note records one access at addr with its outcomes at the profiling
+// cache and at the wide (8x) cache bounding the site's working set.
+func (ms *memStat) note(addr uint64, miss, missWide bool, lineSize int) {
+	ms.accesses++
+	if miss {
+		ms.misses++
+	}
+	if missWide {
+		ms.missesWide++
+	}
+
+	line := addr / uint64(lineSize)
+	hit := false
+	for i := 0; i < ms.recentLen; i++ {
+		if ms.recent[i] == line {
+			hit = true
+			break
+		}
+	}
+	if hit {
+		ms.reuseHits++
+	} else {
+		ms.recent[ms.recentPos] = line
+		ms.recentPos = (ms.recentPos + 1) % reuseWindow
+		if ms.recentLen < reuseWindow {
+			ms.recentLen++
+		}
+	}
+
+	if ms.haveLast {
+		stride := int64(addr) - int64(ms.last)
+		if ms.haveStr && stride == ms.lastStr {
+			ms.repeats++
+		}
+		ms.lastStr, ms.haveStr = stride, true
+		ms.bump(stride)
+	}
+	ms.last, ms.haveLast = addr, true
+}
+
+// bump counts one stride transition, evicting the smallest bucket when the
+// table is full (space-saving: the newcomer inherits the evicted count, so
+// frequent strides cannot be starved by a long irregular tail).
+func (ms *memStat) bump(stride int64) {
+	minAt := 0
+	for i := 0; i < ms.nStride; i++ {
+		if ms.strides[i].stride == stride {
+			ms.strides[i].count++
+			return
+		}
+		if ms.strides[i].count < ms.strides[minAt].count {
+			minAt = i
+		}
+	}
+	if ms.nStride < len(ms.strides) {
+		ms.strides[ms.nStride] = strideCounter{stride: stride, count: 1}
+		ms.nStride++
+		return
+	}
+	ms.strides[minAt] = strideCounter{stride: stride, count: ms.strides[minAt].count + 1}
+}
+
+// stream summarizes the collected state as a serializable descriptor.
+func (ms *memStat) stream() *sfgl.Stream {
+	s := &sfgl.Stream{
+		V:        sfgl.StreamVersion,
+		Accesses: ms.accesses,
+		MissRate: float64(ms.misses) / float64(ms.accesses),
+		MissWide: float64(ms.missesWide) / float64(ms.accesses),
+	}
+	transitions := ms.accesses - 1
+	if transitions > 0 {
+		s.Regularity = float64(ms.repeats) / float64(transitions)
+		bins := append([]strideCounter(nil), ms.strides[:ms.nStride]...)
+		sort.Slice(bins, func(i, j int) bool {
+			if bins[i].count != bins[j].count {
+				return bins[i].count > bins[j].count
+			}
+			return bins[i].stride < bins[j].stride
+		})
+		for _, b := range bins {
+			s.Strides = append(s.Strides, sfgl.StrideBin{
+				Stride: b.stride,
+				Frac:   float64(b.count) / float64(transitions),
+			})
+		}
+	}
+	s.ShortReuse = float64(ms.reuseHits) / float64(ms.accesses)
+	return s
 }
 
 // branchStat tracks one static conditional branch.
@@ -87,6 +221,7 @@ func Collect(prog *isa.Program, setup func(*vm.VM) error, name string, opts Opti
 	}
 
 	c := cache.New(opts.Cache)
+	cWide := cache.New(WideCache(opts.Cache))
 	blockCounts := make(map[blockKey]uint64)
 	edgeCounts := make(map[[2]int]uint64) // (nodeFrom, nodeTo) by block within func
 	memStats := make(map[[3]int]*memStat)
@@ -109,10 +244,9 @@ func Collect(prog *isa.Program, setup func(*vm.VM) error, name string, opts Opti
 				ms = &memStat{}
 				memStats[key] = ms
 			}
-			ms.accesses++
-			if !c.Access(ev.Addr) {
-				ms.misses++
-			}
+			miss := !c.Access(ev.Addr)
+			missWide := !cWide.Access(ev.Addr)
+			ms.note(ev.Addr, miss, missWide, opts.Cache.LineSize)
 		case isa.BR:
 			key := blockKey{ev.Func, ev.Block}
 			bs := branchStats[key]
@@ -197,6 +331,7 @@ func buildGraph(prog *isa.Program,
 				if ms := memStats[[3]int{fi, bi, ii}]; ms != nil && ms.accesses > 0 {
 					miss := float64(ms.misses) / float64(ms.accesses)
 					info.MemClass = sfgl.MemClassFor(miss)
+					info.Stream = ms.stream()
 				}
 				n.Instrs = append(n.Instrs, info)
 			}
@@ -294,10 +429,19 @@ func (p *Profile) Save(w io.Writer) error {
 	return enc.Encode(p)
 }
 
-// Load reads a profile from JSON.
+// Load reads a profile from JSON. Structurally broken payloads — no graph,
+// or stream descriptors from an unknown version — are errors, never
+// panics: profiles cross process boundaries (`synth synthesize -from`, the
+// artifact store) and must fail loudly instead of synthesizing garbage.
 func Load(r io.Reader) (*Profile, error) {
 	var p Profile
 	if err := json.NewDecoder(r).Decode(&p); err != nil {
+		return nil, fmt.Errorf("profile: decode: %w", err)
+	}
+	if p.Graph == nil {
+		return nil, fmt.Errorf("profile: decode: missing graph")
+	}
+	if err := p.Graph.Validate(); err != nil {
 		return nil, fmt.Errorf("profile: decode: %w", err)
 	}
 	return &p, nil

@@ -1,0 +1,55 @@
+package sfgl_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/sfgl"
+)
+
+// validGraphJSON returns a round-trippable graph payload for seeding.
+func validGraphJSON(t testing.TB) []byte {
+	t.Helper()
+	g := &sfgl.Graph{
+		FuncNames: []string{"main"},
+		FuncCalls: []uint64{1},
+		Nodes: []*sfgl.Node{{
+			ID: 0, Count: 3,
+			Instrs: []sfgl.InstrInfo{{MemClass: 2, Stream: &sfgl.Stream{
+				V: sfgl.StreamVersion, Accesses: 3, MissRate: 0.5,
+				Strides: []sfgl.StrideBin{{Stride: 8, Frac: 0.9}, {Stride: -4, Frac: 0.1}},
+			}}},
+			Branch: &sfgl.BranchInfo{Taken: 1, Total: 3, TakenRate: 0.33, TransRate: 0.5, Hard: true},
+		}},
+		Edges: []*sfgl.Edge{{From: 0, To: 0, Count: 2}},
+		Loops: []*sfgl.Loop{{ID: 0, Header: 0, Nodes: []int{0}, Parent: -1, Entries: 1, Iterations: 3}},
+	}
+	var buf bytes.Buffer
+	if err := g.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzSFGLLoad asserts sfgl.Load never panics and never accepts a graph
+// that fails its own validation: corrupt, truncated, or future-versioned
+// stream descriptors must surface as errors.
+func FuzzSFGLLoad(f *testing.F) {
+	valid := validGraphJSON(f)
+	f.Add(valid)
+	f.Add(valid[:len(valid)*2/3])                                      // truncated
+	f.Add([]byte(`{"nodes":[null]}`))                                  // nil node
+	f.Add([]byte(strings.Replace(string(valid), `"v":1`, `"v":2`, 1))) // future stream version
+	f.Add([]byte(strings.Replace(string(valid), `"v":1`, `"v":0`, 1))) // zero stream version
+	f.Add([]byte(`[]`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := sfgl.Load(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("Load returned invalid graph without error: %v", err)
+		}
+	})
+}

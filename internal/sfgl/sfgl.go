@@ -19,11 +19,101 @@ import (
 // InstrInfo describes one static instruction of a basic block: its opcode
 // and class (the paper's "instruction types" with operand kinds, which our
 // opcodes encode), plus the memory-access class of Table I for loads and
-// stores.
+// stores and — on stream-profiled graphs — the per-site stride-stream
+// descriptor. Stream is optional and versioned: profiles written before
+// stream profiling existed decode with a nil Stream, and the synthesizer
+// falls back to the Table I class.
 type InstrInfo struct {
 	Op       isa.Opcode `json:"op"`
 	Class    isa.Class  `json:"class"`
 	MemClass int        `json:"memClass"` // Table I class 0..8; -1 for non-memory ops
+	Stream   *Stream    `json:"stream,omitempty"`
+}
+
+// StreamVersion is the current Stream descriptor serialization version.
+// Load rejects descriptors from a newer (unknown) version instead of
+// silently misreading them; older versions remain decodable forever.
+const StreamVersion = 1
+
+// StreamStrides is how many top strides a Stream descriptor retains. The
+// profiler tracks exactly this many online (space-saving counters), so
+// per-access profiling state stays O(1).
+const StreamStrides = 4
+
+// Stream is the per-static-access memory stream descriptor: the observed
+// stride histogram (top strides by frequency) and a coarse reuse summary,
+// captured online during profiling. It refines the single Table I class —
+// which collapses an access pattern into one miss-rate bucket — enough for
+// the synthesizer to reproduce *how* a site misses (regular strides that
+// prefetch-like walks can overlap vs. irregular, dependence-serialized
+// pointer chasing), not just how often.
+type Stream struct {
+	// V is the descriptor version (StreamVersion when written by this
+	// profiler).
+	V int `json:"v"`
+	// Accesses is the site's dynamic access count.
+	Accesses uint64 `json:"accesses"`
+	// MissRate is the measured miss rate at the profiling cache.
+	MissRate float64 `json:"missRate"`
+	// MissWide is the measured miss rate at the wide (8x) profiling
+	// cache. The two-point miss curve bounds the site's working set: a
+	// site missing the primary cache but hitting the wide one is
+	// locality-bound, not streaming, and its walker's range must stay
+	// within the wide capacity.
+	MissWide float64 `json:"missWide"`
+	// Strides holds the top observed address strides by frequency,
+	// descending; fractions are relative to all stride transitions
+	// (Accesses-1). The tail beyond StreamStrides entries is discarded.
+	Strides []StrideBin `json:"strides,omitempty"`
+	// Regularity is the fraction of stride transitions that repeated the
+	// previous stride — near 1 for array walks, near 0 for pointer chasing.
+	Regularity float64 `json:"regularity"`
+	// ShortReuse is the fraction of accesses that touched one of the
+	// site's four most recently accessed cache lines: a coarse, O(1)
+	// reuse-distance summary separating temporal locality from streaming.
+	ShortReuse float64 `json:"shortReuse"`
+}
+
+// StrideBin is one bucket of a Stream's stride histogram.
+type StrideBin struct {
+	// Stride is the address delta in bytes (may be negative).
+	Stride int64 `json:"stride"`
+	// Frac is the fraction of stride transitions with this delta.
+	Frac float64 `json:"frac"`
+}
+
+// TopFrac returns the combined frequency of the n most frequent strides.
+func (s *Stream) TopFrac(n int) float64 {
+	var f float64
+	for i, b := range s.Strides {
+		if i >= n {
+			break
+		}
+		f += b.Frac
+	}
+	return f
+}
+
+// Validate checks a graph's stream descriptors: every version must be
+// known and positive. Load calls it so that corrupt or future-versioned
+// profiles fail loudly instead of synthesizing from garbage.
+func (g *Graph) Validate() error {
+	for _, n := range g.Nodes {
+		if n == nil {
+			return fmt.Errorf("sfgl: nil node")
+		}
+		for i := range n.Instrs {
+			s := n.Instrs[i].Stream
+			if s == nil {
+				continue
+			}
+			if s.V < 1 || s.V > StreamVersion {
+				return fmt.Errorf("sfgl: node %d instr %d: unsupported stream version %d (max %d)",
+					n.ID, i, s.V, StreamVersion)
+			}
+		}
+	}
+	return nil
 }
 
 // BranchInfo is the paper's Section III.A.2 branch characterization.
@@ -236,18 +326,11 @@ func (g *Graph) ScaleDown(r uint64) *Graph {
 		for nl.Parent != -1 && !survives[nl.Parent] {
 			nl.Parent = loopByID[nl.Parent].Parent
 		}
-		nl.Entries = maxU64(l.Entries/r, 1)
-		nl.Iterations = maxU64(l.Iterations/r, nl.Entries)
+		nl.Entries = max(l.Entries/r, 1)
+		nl.Iterations = max(l.Iterations/r, nl.Entries)
 		out.Loops = append(out.Loops, &nl)
 	}
 	return out
-}
-
-func maxU64(a, b uint64) uint64 {
-	if a > b {
-		return a
-	}
-	return b
 }
 
 // Table I: memory-access classes. Class k covers miss rates around
@@ -286,11 +369,15 @@ func (g *Graph) Save(w io.Writer) error {
 	return enc.Encode(g)
 }
 
-// Load reads a graph from JSON.
+// Load reads a graph from JSON. Graphs with corrupt structure or stream
+// descriptors from an unknown version are rejected with an error.
 func Load(r io.Reader) (*Graph, error) {
 	var g Graph
 	if err := json.NewDecoder(r).Decode(&g); err != nil {
 		return nil, fmt.Errorf("sfgl: decode: %w", err)
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
 	}
 	return &g, nil
 }

@@ -29,6 +29,9 @@ func DecodeProfile(data []byte) (*profile.Profile, error) {
 	if p.Graph == nil {
 		return nil, fmt.Errorf("store: decode profile: missing graph")
 	}
+	if err := p.Graph.Validate(); err != nil {
+		return nil, fmt.Errorf("store: decode profile: %w", err)
+	}
 	return &p, nil
 }
 

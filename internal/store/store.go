@@ -28,8 +28,11 @@ import (
 // SchemaVersion is the store's on-disk schema. Entries written under a
 // different version are treated as misses, so a schema bump invalidates an
 // old store directory without breaking readers. Version 2 added the
-// simulation-config fingerprint to the pipeline's canonical keys.
-const SchemaVersion = 2
+// simulation-config fingerprint to the pipeline's canonical keys; version
+// 3 moved profiling and synthesis to the per-site stride-stream model
+// (pipeline canonical keys v3), partitioning stream-keyed artifacts from
+// single-class ones.
+const SchemaVersion = 3
 
 // Artifact kinds. An entry's kind must match the reader's expectation, so
 // a digest collision between two different artifact types reads as a miss.

@@ -189,8 +189,8 @@ func TestStoreSimRoundTrip(t *testing.T) {
 	s := cpu.Summary{
 		Machine: "2-wide OoO", Cycles: 123456, Instrs: 100000,
 		CPI: 1.23456, TimeSec: 0.000123456,
-		L1: cache.Stats{Accesses: 40000, Misses: 1200},
-		L2: cache.Stats{Accesses: 1200, Misses: 300},
+		L1:        cache.Stats{Accesses: 40000, Misses: 1200},
+		L2:        cache.Stats{Accesses: 1200, Misses: 300},
 		BranchAcc: 0.97, Branches: 9000, Mispredicts: 270,
 	}
 	enc, err := store.EncodeSim(s)
