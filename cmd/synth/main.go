@@ -9,6 +9,7 @@
 //	synth synthesize {-workload NAME | -from PROFILE.json} [-seed N] [-report] [-validate]
 //	synth consolidate [-name NAME] [-synthesize] WORKLOAD-OR-PROFILE.json...
 //	synth experiments [-suite tiny|quick|full] [-only LIST] [-stats] [-store DIR]
+//	synth bench [-suite quick] [-out FILE] [-check BASELINE.json] [-max-regress 0.2]
 //	synth explore {-spec FILE | -preset NAME} [-store DIR] [-top K] [-json] [-dispatch [-wait]]
 //	synth dispatch -store DIR [-suite quick] [-isas LIST] [-levels LIST] [-wait] [-force]
 //	synth work -store DIR [-id NAME] [-lease-ttl D] [-workers N]
@@ -136,6 +137,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		err = cmdConsolidate(ctx, args[1:], stdout, stderr)
 	case "experiments":
 		err = cmdExperiments(ctx, args[1:], stdout, stderr)
+	case "bench":
+		err = cmdBench(ctx, args[1:], stdout, stderr)
 	case "explore":
 		err = cmdExplore(ctx, args[1:], stdout, stderr)
 	case "dispatch":
@@ -174,6 +177,7 @@ Commands:
   synthesize   synthesize a clone (from a workload or -from a saved profile)
   consolidate  merge several profiles into one consolidated proxy profile
   experiments  regenerate the paper's tables and figures
+  bench        time the cold profile+validate path and emit a JSON report
   explore      sweep a microarchitecture design space and rank the points
   dispatch     enqueue a suite's jobs into a shared store's cluster queue
   work         run one cluster worker: lease, execute, ack until drained

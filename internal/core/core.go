@@ -178,7 +178,7 @@ func Synthesize(p *profile.Profile, cfg Config) (*hlc.Program, Report, error) {
 		// Phase 1: calibrate R so the base clone (no compensation yet)
 		// lands near TargetDyn.
 		for attempt := 0; attempt < 3; attempt++ {
-			actual, _, _, err := measureClone(prog, 16*cfg.TargetDyn, profCache)
+			actual, err := measureCloneDyn(prog, 16*cfg.TargetDyn)
 			if err != nil {
 				return nil, rep, fmt.Errorf("core: calibration run: %w", err)
 			}
@@ -354,12 +354,19 @@ func measureClone(prog *hlc.Program, budget uint64, cacheCfg cache.Config) (uint
 	if err != nil {
 		return 0, mix, 0, err
 	}
+	// Per-site class table: the hook indexes it by the event's dense
+	// static-site ID instead of classifying the opcode per instruction.
+	lay := vm.LayoutOf(mp)
+	classBySite := make([]uint8, lay.NumSites())
+	for s := range classBySite {
+		classBySite[s] = uint8(lay.Instr(s).Class())
+	}
 	c := cache.New(cacheCfg)
 	var misses uint64
 	res, err := vm.New(mp).Run(vm.Config{
 		MaxInstrs: budget,
 		Hook: func(ev *vm.Event) {
-			mix[ev.Instr.Class()]++
+			mix[classBySite[ev.Site]]++
 			if ev.IsMem && !c.Access(ev.Addr) {
 				misses++
 			}
@@ -376,6 +383,30 @@ func measureClone(prog *hlc.Program, budget uint64, cacheCfg cache.Config) (uint
 		return 0, mix, 0, err
 	}
 	return res.DynInstrs, mix, missPI, nil
+}
+
+// measureCloneDyn is measureClone without instrumentation: it compiles the
+// candidate and executes it through the VM's no-hook fast path, returning
+// only the dynamic instruction count. Phase-1 R calibration needs nothing
+// else, and the fast path interprets several times quicker than a hooked
+// run.
+func measureCloneDyn(prog *hlc.Program, budget uint64) (uint64, error) {
+	cp, err := hlc.Check(prog)
+	if err != nil {
+		return 0, err
+	}
+	mp, err := compiler.Compile(cp, isa.AMD64, compiler.O0)
+	if err != nil {
+		return 0, err
+	}
+	res, err := vm.New(mp).Run(vm.Config{MaxInstrs: budget})
+	if err != nil {
+		if t, ok := err.(*vm.Trap); ok && t.Reason == vm.TrapBudgetExhausted {
+			return res.DynInstrs, nil // budget exhausted: report the cap
+		}
+		return 0, err
+	}
+	return res.DynInstrs, nil
 }
 
 // profileMissPerInstr returns the profile's misses per dynamic instruction

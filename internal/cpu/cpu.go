@@ -206,8 +206,55 @@ func newPredictor(cfg Config) bpred.Predictor {
 }
 
 // branchPC builds a stable synthetic PC for a static branch site.
-func branchPC(ev *vm.Event) uint64 {
-	return uint64(ev.Func)<<24 ^ uint64(ev.Block)<<10 ^ uint64(ev.Index)
+func branchPC(fn, block, index int) uint64 {
+	return uint64(fn)<<24 ^ uint64(block)<<10 ^ uint64(index)
+}
+
+// siteInfo is the per-static-site metadata both timing models need for
+// every dynamic instruction. It is precomputed once per simulation and
+// indexed by Event.Site, so observe never walks program structure, decodes
+// use/def operands, or hashes a map on the hot path.
+type siteInfo struct {
+	pc          uint64 // kindBranch: synthetic predictor PC
+	bkey        uint64 // EPIC bundle identity: block ID << 20 | bundle
+	lat         uint32 // fixed functional-unit latency (non-memory)
+	u1, u2, def isa.RegID
+	kind        uint8
+}
+
+const (
+	kindOther = iota
+	kindLoad
+	kindStore
+	kindBranch
+)
+
+func buildSites(prog *isa.Program) []siteInfo {
+	lay := vm.LayoutOf(prog)
+	sites := make([]siteInfo, lay.NumSites())
+	for s := range sites {
+		in := lay.Instr(s)
+		loc := lay.Loc(s)
+		si := &sites[s]
+		si.u1, si.u2, si.def = ir.UseDef2(in)
+		si.lat = uint32(latencyFor(in.Class()))
+		switch in.Op {
+		case isa.LD, isa.LDL:
+			si.kind = kindLoad
+		case isa.ST, isa.STL:
+			si.kind = kindStore
+		case isa.BR:
+			si.kind = kindBranch
+			si.pc = branchPC(loc.Func, loc.Block, loc.Index)
+		}
+		blk := prog.Funcs[loc.Func].Blocks[loc.Block]
+		bundleID := loc.Index // unscheduled code: every instruction its own bundle
+		if blk.Bundle != nil {
+			bundleID = blk.Bundle[loc.Index]
+		}
+		si.bkey = uint64(lay.BlockID(loc.Func, loc.Block))<<20 | uint64(bundleID)&(1<<20-1)
+	}
+	return sites
 }
 
 // ooOModel is the out-of-order window model.
@@ -215,6 +262,7 @@ type ooOModel struct {
 	cfg   Config
 	hier  *cache.Hierarchy
 	pred  bpred.Predictor
+	sites []siteInfo
 	stats struct {
 		branches, mispredicts uint64
 	}
@@ -239,6 +287,7 @@ func newOoOModel(prog *isa.Program, cfg Config) *ooOModel {
 		cfg:      cfg,
 		hier:     newHierarchy(cfg),
 		pred:     newPredictor(cfg),
+		sites:    buildSites(prog),
 		regReady: make([]uint64, maxRegs+1),
 		rob:      make([]uint64, max(cfg.ROB, 8)),
 	}
@@ -261,33 +310,31 @@ func (m *ooOModel) observe(ev *vm.Event) {
 	}
 	m.fetchedThis++
 
-	in := ev.Instr
-	u1, u2, def := ir.UseDef2(in)
+	si := &m.sites[ev.Site]
 	start := m.cycle
-	if u1 != isa.NoReg && m.regReady[u1] > start {
-		start = m.regReady[u1]
+	if si.u1 != isa.NoReg && m.regReady[si.u1] > start {
+		start = m.regReady[si.u1]
 	}
-	if u2 != isa.NoReg && m.regReady[u2] > start {
-		start = m.regReady[u2]
+	if si.u2 != isa.NoReg && m.regReady[si.u2] > start {
+		start = m.regReady[si.u2]
 	}
 
 	var lat uint64
-	switch {
-	case in.Op == isa.LD || in.Op == isa.LDL:
+	switch si.kind {
+	case kindLoad:
 		lat = uint64(m.hier.AccessLatency(ev.Addr))
-	case in.Op == isa.ST || in.Op == isa.STL:
+	case kindStore:
 		m.hier.AccessLatency(ev.Addr) // fill caches; store buffer hides latency
 		lat = 1
 	default:
-		lat = latencyFor(in.Class())
+		lat = uint64(si.lat)
 	}
 	done := start + lat
 
-	if in.Op == isa.BR {
+	if si.kind == kindBranch {
 		m.stats.branches++
-		pc := branchPC(ev)
-		predicted := m.pred.Predict(pc)
-		m.pred.Update(pc, ev.Taken)
+		predicted := m.pred.Predict(si.pc)
+		m.pred.Update(si.pc, ev.Taken)
 		if predicted != ev.Taken {
 			m.stats.mispredicts++
 			// Front end restarts after the branch resolves.
@@ -299,8 +346,8 @@ func (m *ooOModel) observe(ev *vm.Event) {
 		}
 	}
 
-	if def != isa.NoReg {
-		m.regReady[def] = done
+	if si.def != isa.NoReg {
+		m.regReady[si.def] = done
 	}
 	if done > m.lastCompletion {
 		m.lastCompletion = done
@@ -330,19 +377,18 @@ func (m *ooOModel) finish() Result {
 // epicModel issues statically scheduled bundles in order.
 type epicModel struct {
 	cfg   Config
-	prog  *isa.Program
 	hier  *cache.Hierarchy
 	pred  bpred.Predictor
+	sites []siteInfo
 	stats struct{ branches, mispredicts uint64 }
 
 	cycle          uint64
 	regReady       []uint64
 	lastCompletion uint64
 
-	// Current bundle tracking: instructions of the same (func, block,
-	// bundle id) issue in the same cycle.
-	curFunc, curBlock, curBundle int
-	haveBundle                   bool
+	// Current bundle identity: instructions whose site shares a bkey
+	// ((func, block, bundle id) packed by buildSites) issue together.
+	curKey uint64
 }
 
 func newEPICModel(prog *isa.Program, cfg Config) *epicModel {
@@ -354,65 +400,57 @@ func newEPICModel(prog *isa.Program, cfg Config) *epicModel {
 	}
 	return &epicModel{
 		cfg:      cfg,
-		prog:     prog,
 		hier:     newHierarchy(cfg),
 		pred:     newPredictor(cfg),
+		sites:    buildSites(prog),
 		regReady: make([]uint64, maxRegs+1),
+		curKey:   ^uint64(0), // no bundle yet
 	}
 }
 
 func (m *epicModel) observe(ev *vm.Event) {
-	blk := m.prog.Funcs[ev.Func].Blocks[ev.Block]
-	bundleID := ev.Index // unscheduled code: every instruction its own bundle
-	if blk.Bundle != nil {
-		bundleID = blk.Bundle[ev.Index]
-	}
-	newBundle := !m.haveBundle || ev.Func != m.curFunc || ev.Block != m.curBlock || bundleID != m.curBundle
-	if newBundle {
+	si := &m.sites[ev.Site]
+	if si.bkey != m.curKey {
 		m.cycle++ // one bundle per cycle baseline
-		m.curFunc, m.curBlock, m.curBundle = ev.Func, ev.Block, bundleID
-		m.haveBundle = true
+		m.curKey = si.bkey
 	}
 
-	in := ev.Instr
-	u1, u2, def := ir.UseDef2(in)
 	// In-order stall: the whole machine waits for this bundle's inputs.
 	start := m.cycle
-	if u1 != isa.NoReg && m.regReady[u1] > start {
-		start = m.regReady[u1]
+	if si.u1 != isa.NoReg && m.regReady[si.u1] > start {
+		start = m.regReady[si.u1]
 	}
-	if u2 != isa.NoReg && m.regReady[u2] > start {
-		start = m.regReady[u2]
+	if si.u2 != isa.NoReg && m.regReady[si.u2] > start {
+		start = m.regReady[si.u2]
 	}
 	if start > m.cycle {
 		m.cycle = start // stall cycles
 	}
 
 	var lat uint64
-	switch {
-	case in.Op == isa.LD || in.Op == isa.LDL:
+	switch si.kind {
+	case kindLoad:
 		lat = uint64(m.hier.AccessLatency(ev.Addr))
-	case in.Op == isa.ST || in.Op == isa.STL:
+	case kindStore:
 		m.hier.AccessLatency(ev.Addr)
 		lat = 1
 	default:
-		lat = latencyFor(in.Class())
+		lat = uint64(si.lat)
 	}
 	done := m.cycle + lat
 
-	if in.Op == isa.BR {
+	if si.kind == kindBranch {
 		m.stats.branches++
-		pc := branchPC(ev)
-		predicted := m.pred.Predict(pc)
-		m.pred.Update(pc, ev.Taken)
+		predicted := m.pred.Predict(si.pc)
+		m.pred.Update(si.pc, ev.Taken)
 		if predicted != ev.Taken {
 			m.stats.mispredicts++
 			m.cycle = done + uint64(m.cfg.MispredictPenalty)
 		}
 	}
 
-	if def != isa.NoReg {
-		m.regReady[def] = done
+	if si.def != isa.NoReg {
+		m.regReady[si.def] = done
 	}
 	if done > m.lastCompletion {
 		m.lastCompletion = done

@@ -12,7 +12,7 @@ import (
 
 // guardedPackages are the packages whose exported API must be fully
 // documented: the orchestration layer, the synthesis core, the profiler,
-// the persistence layer, and the cluster coordination layer.
+// the persistence layer, the cluster coordination layer, and the VM.
 var guardedPackages = []string{
 	"../pipeline",
 	"../core",
@@ -21,6 +21,7 @@ var guardedPackages = []string{
 	"../store",
 	"../cluster",
 	"../explore",
+	"../vm",
 }
 
 // TestExportedIdentifiersDocumented fails for every exported package-level

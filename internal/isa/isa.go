@@ -138,46 +138,65 @@ const (
 	PRINTF
 )
 
-var opcodeInfo = map[Opcode]struct {
-	name  string
-	class Class
-}{
-	NOP:  {"nop", ClassOther},
-	MOVI: {"movi", ClassOther}, MOVF: {"movf", ClassOther}, MOV: {"mov", ClassOther},
-	ADD: {"add", ClassIntALU}, SUB: {"sub", ClassIntALU}, MUL: {"mul", ClassIntMul},
-	DIV: {"div", ClassIntDiv}, MOD: {"mod", ClassIntDiv},
-	AND: {"and", ClassIntALU}, OR: {"or", ClassIntALU}, XOR: {"xor", ClassIntALU},
-	SHL: {"shl", ClassIntALU}, SHR: {"shr", ClassIntALU},
-	NEG: {"neg", ClassIntALU}, NOTB: {"notb", ClassIntALU},
-	CMPEQ: {"cmpeq", ClassIntALU}, CMPNE: {"cmpne", ClassIntALU},
-	CMPLT: {"cmplt", ClassIntALU}, CMPLE: {"cmple", ClassIntALU},
-	CMPGT: {"cmpgt", ClassIntALU}, CMPGE: {"cmpge", ClassIntALU},
-	FADD: {"fadd", ClassFPAdd}, FSUB: {"fsub", ClassFPAdd},
-	FMUL: {"fmul", ClassFPMul}, FDIV: {"fdiv", ClassFPDiv},
-	FNEG:   {"fneg", ClassFPAdd},
-	FCMPEQ: {"fcmpeq", ClassFPAdd}, FCMPNE: {"fcmpne", ClassFPAdd},
-	FCMPLT: {"fcmplt", ClassFPAdd}, FCMPLE: {"fcmple", ClassFPAdd},
-	FCMPGT: {"fcmpgt", ClassFPAdd}, FCMPGE: {"fcmpge", ClassFPAdd},
-	ITOF: {"itof", ClassFPAdd}, FTOI: {"ftoi", ClassFPAdd},
-	FSQRT: {"fsqrt", ClassFPDiv}, FSIN: {"fsin", ClassFPDiv},
-	FCOS: {"fcos", ClassFPDiv}, FABS: {"fabs", ClassFPAdd},
-	LD: {"ld", ClassLoad}, ST: {"st", ClassStore},
-	LDL: {"ldl", ClassLoad}, STL: {"stl", ClassStore},
-	BR: {"br", ClassBranch}, JMP: {"jmp", ClassJump}, RET: {"ret", ClassRet},
-	CALL:   {"call", ClassCall},
-	PRINTI: {"printi", ClassSys}, PRINTF: {"printf", ClassSys},
+// NumOpcodes is the number of defined opcodes; opcode values are dense in
+// [0, NumOpcodes). The name and class tables below are arrays indexed by
+// opcode — ClassOf sits on the per-executed-instruction path of every
+// profiling hook, where a map lookup would dominate.
+const NumOpcodes = int(PRINTF) + 1
+
+var opcodeNames = [NumOpcodes]string{
+	NOP: "nop",
+	MOVI: "movi", MOVF: "movf", MOV: "mov",
+	ADD: "add", SUB: "sub", MUL: "mul", DIV: "div", MOD: "mod",
+	AND: "and", OR: "or", XOR: "xor", SHL: "shl", SHR: "shr",
+	NEG: "neg", NOTB: "notb",
+	CMPEQ: "cmpeq", CMPNE: "cmpne", CMPLT: "cmplt",
+	CMPLE: "cmple", CMPGT: "cmpgt", CMPGE: "cmpge",
+	FADD: "fadd", FSUB: "fsub", FMUL: "fmul", FDIV: "fdiv", FNEG: "fneg",
+	FCMPEQ: "fcmpeq", FCMPNE: "fcmpne", FCMPLT: "fcmplt",
+	FCMPLE: "fcmple", FCMPGT: "fcmpgt", FCMPGE: "fcmpge",
+	ITOF: "itof", FTOI: "ftoi",
+	FSQRT: "fsqrt", FSIN: "fsin", FCOS: "fcos", FABS: "fabs",
+	LD: "ld", ST: "st", LDL: "ldl", STL: "stl",
+	BR: "br", JMP: "jmp", RET: "ret", CALL: "call",
+	PRINTI: "printi", PRINTF: "printf",
+}
+
+var opcodeClasses = [NumOpcodes]Class{
+	NOP: ClassOther, MOVI: ClassOther, MOVF: ClassOther, MOV: ClassOther,
+	ADD: ClassIntALU, SUB: ClassIntALU, MUL: ClassIntMul,
+	DIV: ClassIntDiv, MOD: ClassIntDiv,
+	AND: ClassIntALU, OR: ClassIntALU, XOR: ClassIntALU,
+	SHL: ClassIntALU, SHR: ClassIntALU,
+	NEG: ClassIntALU, NOTB: ClassIntALU,
+	CMPEQ: ClassIntALU, CMPNE: ClassIntALU, CMPLT: ClassIntALU,
+	CMPLE: ClassIntALU, CMPGT: ClassIntALU, CMPGE: ClassIntALU,
+	FADD: ClassFPAdd, FSUB: ClassFPAdd, FMUL: ClassFPMul, FDIV: ClassFPDiv,
+	FNEG:   ClassFPAdd,
+	FCMPEQ: ClassFPAdd, FCMPNE: ClassFPAdd, FCMPLT: ClassFPAdd,
+	FCMPLE: ClassFPAdd, FCMPGT: ClassFPAdd, FCMPGE: ClassFPAdd,
+	ITOF: ClassFPAdd, FTOI: ClassFPAdd,
+	FSQRT: ClassFPDiv, FSIN: ClassFPDiv, FCOS: ClassFPDiv, FABS: ClassFPAdd,
+	LD: ClassLoad, ST: ClassStore, LDL: ClassLoad, STL: ClassStore,
+	BR: ClassBranch, JMP: ClassJump, RET: ClassRet, CALL: ClassCall,
+	PRINTI: ClassSys, PRINTF: ClassSys,
 }
 
 // String returns the mnemonic of the opcode.
 func (op Opcode) String() string {
-	if info, ok := opcodeInfo[op]; ok {
-		return info.name
+	if op >= 0 && int(op) < NumOpcodes {
+		return opcodeNames[op]
 	}
 	return fmt.Sprintf("op(%d)", int(op))
 }
 
 // ClassOf returns the functional-unit class of the opcode.
-func (op Opcode) ClassOf() Class { return opcodeInfo[op].class }
+func (op Opcode) ClassOf() Class {
+	if op >= 0 && int(op) < NumOpcodes {
+		return opcodeClasses[op]
+	}
+	return ClassOther
+}
 
 // Instr is one machine instruction. Operand roles depend on the opcode; see
 // the opcode documentation above.

@@ -222,59 +222,82 @@ func Collect(prog *isa.Program, setup func(*vm.VM) error, name string, opts Opti
 
 	c := cache.New(opts.Cache)
 	cWide := cache.New(WideCache(opts.Cache))
-	blockCounts := make(map[blockKey]uint64)
-	edgeCounts := make(map[[2]int]uint64) // (nodeFrom, nodeTo) by block within func
-	memStats := make(map[[3]int]*memStat)
-	branchStats := make(map[blockKey]*branchStat)
 	callCounts := make([]uint64, len(prog.Funcs))
 	var mix [isa.NumClasses]uint64
 	var total uint64
 
+	// Per-event state is dense, indexed by the VM's static-site and block
+	// IDs (see vm.Layout): the hook does pure slice arithmetic, no map
+	// lookups. siteKind collapses the opcode dispatch to one byte per site.
+	lay := vm.LayoutOf(prog)
+	nSites, nBlocks := lay.NumSites(), lay.NumBlocks()
+	classBySite := make([]isa.Class, nSites)
+	kindBySite := make([]uint8, nSites)
+	blockBySite := make([]int32, nSites)
+	siteSym := make([]int32, nSites) // CALL callee index
+	const (
+		siteOther = iota
+		siteMem
+		siteBR
+		siteJMP
+		siteCALL
+	)
+	for s := 0; s < nSites; s++ {
+		in := lay.Instr(s)
+		loc := lay.Loc(s)
+		classBySite[s] = in.Class()
+		blockBySite[s] = int32(lay.BlockID(loc.Func, loc.Block))
+		switch in.Op {
+		case isa.LD, isa.ST, isa.LDL, isa.STL:
+			kindBySite[s] = siteMem
+		case isa.BR:
+			kindBySite[s] = siteBR
+		case isa.JMP:
+			kindBySite[s] = siteJMP
+		case isa.CALL:
+			kindBySite[s] = siteCALL
+			siteSym[s] = in.Sym
+		}
+	}
+	blockCounts := make([]uint64, nBlocks)
+	memStats := make([]memStat, nSites)
+	branchStats := make([]branchStat, nBlocks)
+	// Edge counts per originating block: the taken arm is Succs[0] (BR
+	// taken and JMP), the fall-through arm Succs[1] (BR not taken).
+	edgeTaken := make([]uint64, nBlocks)
+	edgeNot := make([]uint64, nBlocks)
+	lineSize := opts.Cache.LineSize
+
 	hook := func(ev *vm.Event) {
 		total++
-		mix[ev.Instr.Class()]++
+		s := ev.Site
+		mix[classBySite[s]]++
 		if ev.Index == 0 {
-			blockCounts[blockKey{ev.Func, ev.Block}]++
+			blockCounts[blockBySite[s]]++
 		}
-		switch ev.Instr.Op {
-		case isa.LD, isa.ST, isa.LDL, isa.STL:
-			key := [3]int{ev.Func, ev.Block, ev.Index}
-			ms := memStats[key]
-			if ms == nil {
-				ms = &memStat{}
-				memStats[key] = ms
-			}
+		switch kindBySite[s] {
+		case siteMem:
 			miss := !c.Access(ev.Addr)
 			missWide := !cWide.Access(ev.Addr)
-			ms.note(ev.Addr, miss, missWide, opts.Cache.LineSize)
-		case isa.BR:
-			key := blockKey{ev.Func, ev.Block}
-			bs := branchStats[key]
-			if bs == nil {
-				bs = &branchStat{}
-				branchStats[key] = bs
-			}
+			memStats[s].note(ev.Addr, miss, missWide, lineSize)
+		case siteBR:
+			bs := &branchStats[blockBySite[s]]
 			bs.total++
 			if ev.Taken {
 				bs.taken++
+				edgeTaken[blockBySite[s]]++
+			} else {
+				edgeNot[blockBySite[s]]++
 			}
 			if bs.any && ev.Taken != bs.last {
 				bs.transitions++
 			}
 			bs.last = ev.Taken
 			bs.any = true
-			// Record the control-flow edge this branch took.
-			blk := prog.Funcs[ev.Func].Blocks[ev.Block]
-			to := blk.Succs[1]
-			if ev.Taken {
-				to = blk.Succs[0]
-			}
-			edgeCounts[[2]int{nodeID(prog, ev.Func, ev.Block), nodeID(prog, ev.Func, to)}]++
-		case isa.JMP:
-			blk := prog.Funcs[ev.Func].Blocks[ev.Block]
-			edgeCounts[[2]int{nodeID(prog, ev.Func, ev.Block), nodeID(prog, ev.Func, blk.Succs[0])}]++
-		case isa.CALL:
-			callCounts[ev.Instr.Sym]++
+		case siteJMP:
+			edgeTaken[blockBySite[s]]++
+		case siteCALL:
+			callCounts[siteSym[s]]++
 		}
 	}
 
@@ -283,7 +306,40 @@ func Collect(prog *isa.Program, setup func(*vm.VM) error, name string, opts Opti
 		return nil, fmt.Errorf("profile: %s: %w", name, err)
 	}
 
-	g := buildGraph(prog, blockCounts, edgeCounts, memStats, branchStats, callCounts)
+	// Re-key the dense run state by static location for graph construction
+	// (cold: one pass over static sites and blocks).
+	blockCountsM := make(map[blockKey]uint64)
+	branchStatsM := make(map[blockKey]*branchStat)
+	edgeCounts := make(map[[2]int]uint64)
+	bid := 0
+	for fi, f := range prog.Funcs {
+		for bi, blk := range f.Blocks {
+			if blockCounts[bid] > 0 {
+				blockCountsM[blockKey{fi, bi}] = blockCounts[bid]
+			}
+			if branchStats[bid].total > 0 {
+				branchStatsM[blockKey{fi, bi}] = &branchStats[bid]
+			}
+			if edgeTaken[bid] > 0 {
+				to := lay.BlockID(fi, blk.Succs[0])
+				edgeCounts[[2]int{bid, to}] += edgeTaken[bid]
+			}
+			if edgeNot[bid] > 0 {
+				to := lay.BlockID(fi, blk.Succs[1])
+				edgeCounts[[2]int{bid, to}] += edgeNot[bid]
+			}
+			bid++
+		}
+	}
+	memStatsM := make(map[[3]int]*memStat)
+	for s := 0; s < nSites; s++ {
+		if memStats[s].accesses > 0 {
+			loc := lay.Loc(s)
+			memStatsM[[3]int{loc.Func, loc.Block, loc.Index}] = &memStats[s]
+		}
+	}
+
+	g := buildGraph(prog, blockCountsM, edgeCounts, memStatsM, branchStatsM, callCounts)
 	return &Profile{
 		Workload:   name,
 		Graph:      g,

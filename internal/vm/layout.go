@@ -1,0 +1,63 @@
+package vm
+
+import "repro/internal/isa"
+
+// SiteLoc is the static (function, block, index) location of one
+// instruction site.
+type SiteLoc struct {
+	Func, Block, Index int
+}
+
+// Layout is the dense static numbering of a program's instruction sites and
+// basic blocks. Site IDs match Event.Site exactly: instructions are numbered
+// in (function, block, index) order across the whole program. Block IDs
+// number blocks the same way ((function, block) order); they are the node
+// IDs of the statistical flow graph. Hook consumers build a Layout once and
+// replace per-event map lookups with slice indexing.
+type Layout struct {
+	sites     []SiteLoc
+	instrs    []*isa.Instr
+	blockBase []int // first block ID of each function
+	numBlocks int
+}
+
+// LayoutOf computes the dense site and block numbering of a program.
+func LayoutOf(prog *isa.Program) *Layout {
+	l := &Layout{blockBase: make([]int, len(prog.Funcs))}
+	n := 0
+	for _, f := range prog.Funcs {
+		for _, b := range f.Blocks {
+			n += len(b.Instrs)
+		}
+	}
+	l.sites = make([]SiteLoc, 0, n)
+	l.instrs = make([]*isa.Instr, 0, n)
+	nb := 0
+	for fi, f := range prog.Funcs {
+		l.blockBase[fi] = nb
+		nb += len(f.Blocks)
+		for bi, b := range f.Blocks {
+			for ii := range b.Instrs {
+				l.sites = append(l.sites, SiteLoc{Func: fi, Block: bi, Index: ii})
+				l.instrs = append(l.instrs, &b.Instrs[ii])
+			}
+		}
+	}
+	l.numBlocks = nb
+	return l
+}
+
+// NumSites returns the number of static instruction sites.
+func (l *Layout) NumSites() int { return len(l.sites) }
+
+// NumBlocks returns the number of basic blocks across all functions.
+func (l *Layout) NumBlocks() int { return l.numBlocks }
+
+// Loc returns the static location of a site ID.
+func (l *Layout) Loc(site int) SiteLoc { return l.sites[site] }
+
+// Instr returns the instruction at a site ID.
+func (l *Layout) Instr(site int) *isa.Instr { return l.instrs[site] }
+
+// BlockID returns the dense block ID of block `block` in function `fn`.
+func (l *Layout) BlockID(fn, block int) int { return l.blockBase[fn] + block }

@@ -1,0 +1,113 @@
+package vm
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+// The dynamic-count contract at traps: a genuine fault counts its faulting
+// instruction exactly once (the pre-predecode interpreter double-counted
+// it), while a budget trap reports MaxInstrs+1 — one past the cap, marking
+// "there was more".
+
+func runTrap(t *testing.T, main *isa.Func, globals []isa.Global, cfg Config) (Result, *Trap) {
+	t.Helper()
+	p := &isa.Program{ISA: isa.AMD64, Globals: globals, Funcs: []*isa.Func{main}, Entry: 0}
+	res, err := New(p).Run(cfg)
+	if err == nil {
+		t.Fatalf("expected a trap")
+	}
+	trap, ok := err.(*Trap)
+	if !ok {
+		t.Fatalf("expected *Trap, got %T: %v", err, err)
+	}
+	return res, trap
+}
+
+func TestTrapCountsFaultingInstructionOnce(t *testing.T) {
+	// r0=1; r1=0; r2=r0/r1 — the DIV is the third executed instruction.
+	main := &isa.Func{
+		Name: "main", RetKind: isa.KindVoid, NumRegs: 3, NumSlots: 1, FirstArgSlot: -1,
+		Blocks: []*isa.Block{{
+			Instrs: []isa.Instr{
+				{Op: isa.MOVI, Dst: 0, Imm: 1},
+				{Op: isa.MOVI, Dst: 1, Imm: 0},
+				{Op: isa.DIV, Dst: 2, A: 0, B: 1},
+				{Op: isa.RET, A: isa.NoReg},
+			},
+		}},
+	}
+	res, trap := runTrap(t, main, nil, Config{})
+	if !strings.Contains(trap.Reason, "division by zero") {
+		t.Fatalf("reason = %q", trap.Reason)
+	}
+	if trap.Block != 0 || trap.Index != 2 {
+		t.Fatalf("trap at block %d index %d, want 0/2", trap.Block, trap.Index)
+	}
+	if res.DynInstrs != 3 {
+		t.Fatalf("DynInstrs = %d, want 3 (faulting instruction counted once)", res.DynInstrs)
+	}
+}
+
+func TestTrapOutOfBoundsCountsOnce(t *testing.T) {
+	// r0=100; r1=g0[r0] — the LD is the second executed instruction.
+	main := &isa.Func{
+		Name: "main", RetKind: isa.KindVoid, NumRegs: 2, NumSlots: 1, FirstArgSlot: -1,
+		Blocks: []*isa.Block{{
+			Instrs: []isa.Instr{
+				{Op: isa.MOVI, Dst: 0, Imm: 100},
+				{Op: isa.LD, Dst: 1, A: 0, Sym: 0},
+				{Op: isa.RET, A: isa.NoReg},
+			},
+		}},
+	}
+	globals := []isa.Global{{Name: "g", Kind: isa.KindInt, Len: 4}}
+	res, trap := runTrap(t, main, globals, Config{})
+	if !strings.Contains(trap.Reason, "out of bounds") {
+		t.Fatalf("reason = %q", trap.Reason)
+	}
+	if res.DynInstrs != 2 {
+		t.Fatalf("DynInstrs = %d, want 2", res.DynInstrs)
+	}
+}
+
+func TestBudgetTrapCountsCapPlusOne(t *testing.T) {
+	main := &isa.Func{
+		Name: "main", RetKind: isa.KindVoid, NumRegs: 1, NumSlots: 1, FirstArgSlot: -1,
+		Blocks: []*isa.Block{{
+			Instrs: []isa.Instr{{Op: isa.JMP}},
+			Succs:  []int{0},
+		}},
+	}
+	for _, budget := range []uint64{1, 7, 1000} {
+		res, trap := runTrap(t, main, nil, Config{MaxInstrs: budget})
+		if trap.Reason != TrapBudgetExhausted {
+			t.Fatalf("reason = %q", trap.Reason)
+		}
+		if res.DynInstrs != budget+1 {
+			t.Fatalf("budget %d: DynInstrs = %d, want %d", budget, res.DynInstrs, budget+1)
+		}
+	}
+}
+
+func TestStackOverflowCountsOnce(t *testing.T) {
+	// main calls itself forever; with MaxDepth 4 the fourth CALL traps.
+	main := &isa.Func{
+		Name: "main", RetKind: isa.KindVoid, NumRegs: 1, NumSlots: 1, FirstArgSlot: 0,
+		Blocks: []*isa.Block{{
+			Instrs: []isa.Instr{
+				{Op: isa.CALL, Dst: isa.NoReg, Sym: 0},
+				{Op: isa.RET, A: isa.NoReg},
+			},
+		}},
+	}
+	res, trap := runTrap(t, main, nil, Config{MaxDepth: 4})
+	if trap.Reason != "stack overflow" {
+		t.Fatalf("reason = %q", trap.Reason)
+	}
+	if res.DynInstrs != 4 {
+		t.Fatalf("DynInstrs = %d, want 4", res.DynInstrs)
+	}
+}

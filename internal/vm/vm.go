@@ -3,12 +3,19 @@
 // also its binary-instrumentation layer — the role Pin plays in the paper:
 // profilers, cache simulators, and branch-prediction models all attach to
 // the executed instruction stream via Hook.
+//
+// Loading a program predecodes it: each function's blocks are flattened
+// into one contiguous instruction array with branch targets resolved to
+// flat PCs, global bases and element sizes baked in, and a dense static-site
+// ID stamped on every instruction (see docs/vm.md). Run then dispatches to
+// one of two specialized loops — a no-hook fast path and a hooked path —
+// both of which authorize the instruction budget per basic block and pool
+// frame register/slot storage so calls do not allocate.
 package vm
 
 import (
 	"fmt"
 	"math"
-	"strconv"
 
 	"repro/internal/isa"
 )
@@ -16,10 +23,15 @@ import (
 // Event describes one executed instruction to observers.
 type Event struct {
 	Func, Block, Index int // static location of the instruction
-	Instr              *isa.Instr
-	Addr               uint64 // data address (valid when IsMem)
-	IsMem              bool
-	Taken              bool // branch outcome (valid for BR)
+	// Site is the instruction's dense static-site ID: its position in the
+	// program-wide enumeration of instructions in (function, block, index)
+	// order, exactly the numbering LayoutOf assigns. Hooks use it to index
+	// flat per-site state instead of keying maps by location.
+	Site  int
+	Instr *isa.Instr
+	Addr  uint64 // data address (valid when IsMem)
+	IsMem bool
+	Taken bool // branch outcome (valid for BR)
 }
 
 // Hook observes every executed instruction. The Event struct is reused
@@ -64,13 +76,22 @@ const (
 	defaultMaxDepth  = 1 << 20
 )
 
-// VM holds the loaded program and its global memory. A VM may be Run
-// multiple times; each Run re-zeroes nothing — callers that need pristine
-// globals should create a fresh VM (loading is cheap).
+// FNV-1a parameters for Result.OutputHash.
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// VM holds the loaded, predecoded program and its global memory. A VM may
+// be Run multiple times; each Run re-zeroes nothing — callers that need
+// pristine globals should create a fresh VM (loading is cheap). Concurrent
+// Runs of distinct VMs are safe; all per-run state (frames, pools) is local
+// to Run.
 type VM struct {
 	prog       *isa.Program
 	globals    [][]int64 // float elements stored as IEEE bits
 	globalAddr []uint64  // byte base address per global
+	fns        []fcode   // predecoded functions, indexed like prog.Funcs
 }
 
 // New loads a compiled program.
@@ -83,6 +104,7 @@ func New(prog *isa.Program) *VM {
 		size := uint64(g.Len * g.ElemBytes())
 		addr += (size + globalAlign - 1) / globalAlign * globalAlign
 	}
+	vm.fns = predecode(prog, vm.globals, vm.globalAddr)
 	return vm
 }
 
@@ -142,18 +164,6 @@ func (vm *VM) Ints(name string) ([]int64, error) {
 	return out, nil
 }
 
-type frame struct {
-	fn      *isa.Func
-	fnIdx   int
-	regs    []int64
-	slots   []int64
-	base    uint64 // frame base address for LDL/STL addresses
-	block   int
-	index   int
-	retDst  isa.RegID // caller register receiving the return value
-	argBase int64     // caller slot base of this call's arguments (unused after entry)
-}
-
 // TrapBudgetExhausted is the Reason of the trap raised when a Run hits
 // its MaxInstrs bound. Callers that treat a truncated execution as a
 // valid sampled measurement (cpu.Simulate) must discriminate on this
@@ -170,15 +180,16 @@ type Trap struct {
 	Index  int
 }
 
+// Error formats the trap with its static location and reason.
 func (t *Trap) Error() string {
 	return fmt.Sprintf("vm: trap in %s (block %d, instr %d): %s", t.Func, t.Block, t.Index, t.Reason)
 }
 
 // Run executes the program from its entry function.
 func (vm *VM) Run(cfg Config) (Result, error) {
-	maxInstrs := cfg.MaxInstrs
-	if maxInstrs == 0 {
-		maxInstrs = defaultMaxInstrs
+	limit := cfg.MaxInstrs
+	if limit == 0 {
+		limit = defaultMaxInstrs
 	}
 	maxOutput := cfg.MaxOutput
 	if maxOutput == 0 {
@@ -188,223 +199,12 @@ func (vm *VM) Run(cfg Config) (Result, error) {
 	if maxDepth == 0 {
 		maxDepth = defaultMaxDepth
 	}
-
-	var res Result
-	res.OutputHash = 14695981039346656037 // FNV offset basis
-
 	entry := vm.prog.Funcs[vm.prog.Entry]
 	if entry.NumParams != 0 {
-		return res, fmt.Errorf("vm: entry function %s takes parameters", entry.Name)
+		return Result{OutputHash: fnvOffset}, fmt.Errorf("vm: entry function %s takes parameters", entry.Name)
 	}
-	frames := make([]*frame, 0, 64)
-	frames = append(frames, vm.newFrame(entry, vm.prog.Entry, uint64(stackBase)))
-	cur := frames[0]
-
-	var ev Event
-	hook := cfg.Hook
-
-	trap := func(reason string) (Result, error) {
-		res.DynInstrs++
-		return res, &Trap{Reason: reason, Func: cur.fn.Name, Block: cur.block, Index: cur.index}
+	if cfg.Hook == nil {
+		return vm.runFast(limit, maxOutput, maxDepth)
 	}
-
-	emit := func(in *isa.Instr, isMem bool, addr uint64, taken bool) {
-		if hook == nil {
-			return
-		}
-		ev = Event{
-			Func: cur.fnIdx, Block: cur.block, Index: cur.index,
-			Instr: in, Addr: addr, IsMem: isMem, Taken: taken,
-		}
-		hook(&ev)
-	}
-
-	print := func(s string) {
-		res.Prints++
-		for i := 0; i < len(s); i++ {
-			res.OutputHash ^= uint64(s[i])
-			res.OutputHash *= 1099511628211
-		}
-		res.OutputHash ^= '\n'
-		res.OutputHash *= 1099511628211
-		if len(res.Output) < maxOutput {
-			res.Output = append(res.Output, s)
-		}
-	}
-
-	for {
-		if res.DynInstrs >= maxInstrs {
-			return trap(TrapBudgetExhausted)
-		}
-		blk := cur.fn.Blocks[cur.block]
-		in := &blk.Instrs[cur.index]
-		res.DynInstrs++
-		advance := true
-
-		switch in.Op {
-		case isa.NOP:
-			emit(in, false, 0, false)
-
-		case isa.MOVI:
-			cur.regs[in.Dst] = in.Imm
-			emit(in, false, 0, false)
-		case isa.MOVF:
-			cur.regs[in.Dst] = int64(math.Float64bits(in.F))
-			emit(in, false, 0, false)
-		case isa.MOV:
-			cur.regs[in.Dst] = cur.regs[in.A]
-			emit(in, false, 0, false)
-
-		case isa.ADD, isa.SUB, isa.MUL, isa.AND, isa.OR, isa.XOR, isa.SHL, isa.SHR,
-			isa.CMPEQ, isa.CMPNE, isa.CMPLT, isa.CMPLE, isa.CMPGT, isa.CMPGE:
-			v, _ := isa.EvalIntBin(in.Op, cur.regs[in.A], cur.regs[in.B])
-			cur.regs[in.Dst] = v
-			emit(in, false, 0, false)
-		case isa.DIV, isa.MOD:
-			v, ok := isa.EvalIntBin(in.Op, cur.regs[in.A], cur.regs[in.B])
-			if !ok {
-				return trap("integer division by zero")
-			}
-			cur.regs[in.Dst] = v
-			emit(in, false, 0, false)
-		case isa.NEG, isa.NOTB:
-			cur.regs[in.Dst] = isa.EvalIntUn(in.Op, cur.regs[in.A])
-			emit(in, false, 0, false)
-
-		case isa.FADD, isa.FSUB, isa.FMUL, isa.FDIV:
-			a := math.Float64frombits(uint64(cur.regs[in.A]))
-			b := math.Float64frombits(uint64(cur.regs[in.B]))
-			cur.regs[in.Dst] = int64(math.Float64bits(isa.EvalFloatBin(in.Op, a, b)))
-			emit(in, false, 0, false)
-		case isa.FCMPEQ, isa.FCMPNE, isa.FCMPLT, isa.FCMPLE, isa.FCMPGT, isa.FCMPGE:
-			a := math.Float64frombits(uint64(cur.regs[in.A]))
-			b := math.Float64frombits(uint64(cur.regs[in.B]))
-			cur.regs[in.Dst] = isa.EvalFloatCmp(in.Op, a, b)
-			emit(in, false, 0, false)
-		case isa.FNEG, isa.FSQRT, isa.FSIN, isa.FCOS, isa.FABS:
-			a := math.Float64frombits(uint64(cur.regs[in.A]))
-			cur.regs[in.Dst] = int64(math.Float64bits(isa.EvalFloatUn(in.Op, a)))
-			emit(in, false, 0, false)
-		case isa.ITOF:
-			cur.regs[in.Dst] = int64(math.Float64bits(float64(cur.regs[in.A])))
-			emit(in, false, 0, false)
-		case isa.FTOI:
-			cur.regs[in.Dst] = isa.F2I(math.Float64frombits(uint64(cur.regs[in.A])))
-			emit(in, false, 0, false)
-
-		case isa.LD:
-			gi := in.Sym
-			idx := in.Imm
-			if in.A != isa.NoReg {
-				idx += cur.regs[in.A]
-			}
-			mem := vm.globals[gi]
-			if idx < 0 || idx >= int64(len(mem)) {
-				return trap(fmt.Sprintf("load index %d out of bounds for %s[%d]",
-					idx, vm.prog.Globals[gi].Name, len(mem)))
-			}
-			cur.regs[in.Dst] = mem[idx]
-			addr := vm.globalAddr[gi] + uint64(idx)*uint64(vm.prog.Globals[gi].ElemBytes())
-			emit(in, true, addr, false)
-		case isa.ST:
-			gi := in.Sym
-			idx := in.Imm
-			if in.A != isa.NoReg {
-				idx += cur.regs[in.A]
-			}
-			mem := vm.globals[gi]
-			if idx < 0 || idx >= int64(len(mem)) {
-				return trap(fmt.Sprintf("store index %d out of bounds for %s[%d]",
-					idx, vm.prog.Globals[gi].Name, len(mem)))
-			}
-			mem[idx] = cur.regs[in.B]
-			addr := vm.globalAddr[gi] + uint64(idx)*uint64(vm.prog.Globals[gi].ElemBytes())
-			emit(in, true, addr, false)
-		case isa.LDL:
-			cur.regs[in.Dst] = cur.slots[in.Imm]
-			emit(in, true, cur.base+uint64(in.Imm)*isa.SlotBytes, false)
-		case isa.STL:
-			cur.slots[in.Imm] = cur.regs[in.A]
-			emit(in, true, cur.base+uint64(in.Imm)*isa.SlotBytes, false)
-
-		case isa.BR:
-			taken := cur.regs[in.A] != 0
-			emit(in, false, 0, taken)
-			if taken {
-				cur.block = blk.Succs[0]
-			} else {
-				cur.block = blk.Succs[1]
-			}
-			cur.index = 0
-			advance = false
-		case isa.JMP:
-			emit(in, false, 0, false)
-			cur.block = blk.Succs[0]
-			cur.index = 0
-			advance = false
-
-		case isa.CALL:
-			emit(in, false, 0, false)
-			if len(frames) >= maxDepth {
-				return trap("stack overflow")
-			}
-			callee := vm.prog.Funcs[in.Sym]
-			nf := vm.newFrame(callee, int(in.Sym), cur.base+uint64(cur.fn.NumSlots)*isa.SlotBytes)
-			for p := 0; p < callee.NumParams; p++ {
-				nf.slots[p] = cur.slots[in.Imm+int64(p)]
-			}
-			nf.retDst = in.Dst
-			// Resume the caller after the call when the callee returns.
-			cur.index++
-			frames = append(frames, nf)
-			cur = nf
-			advance = false
-
-		case isa.RET:
-			emit(in, false, 0, false)
-			var retVal int64
-			if in.A != isa.NoReg {
-				retVal = cur.regs[in.A]
-			}
-			retDst := cur.retDst
-			frames = frames[:len(frames)-1]
-			if len(frames) == 0 {
-				return res, nil
-			}
-			cur = frames[len(frames)-1]
-			if retDst != isa.NoReg {
-				cur.regs[retDst] = retVal
-			}
-			advance = false
-
-		case isa.PRINTI:
-			print(strconv.FormatInt(cur.regs[in.A], 10))
-			emit(in, false, 0, false)
-		case isa.PRINTF:
-			f := math.Float64frombits(uint64(cur.regs[in.A]))
-			print(strconv.FormatFloat(f, 'g', 12, 64))
-			emit(in, false, 0, false)
-
-		default:
-			return trap(fmt.Sprintf("unknown opcode %v", in.Op))
-		}
-
-		if advance {
-			cur.index++
-			if cur.index >= len(blk.Instrs) {
-				return trap("fell off the end of a basic block")
-			}
-		}
-	}
-}
-
-func (vm *VM) newFrame(fn *isa.Func, fnIdx int, base uint64) *frame {
-	return &frame{
-		fn:     fn,
-		fnIdx:  fnIdx,
-		regs:   make([]int64, fn.NumRegs),
-		slots:  make([]int64, max(fn.NumSlots, 1)),
-		base:   base,
-		retDst: isa.NoReg,
-	}
+	return vm.runHooked(cfg.Hook, limit, maxOutput, maxDepth)
 }
