@@ -147,11 +147,15 @@ func cmdDispatch(ctx context.Context, args []string, stdout, stderr io.Writer) e
 
 // cmdWork runs one cluster worker: lease a job, execute it through a
 // pipeline rebuilt from the dispatch manifest, ack the result, repeat
-// until the queue converges.
+// until the queue converges. The queue and store come from a shared -store
+// directory, or — for nodes with no shared filesystem — from a `synth
+// serve` node's remote store via -remote.
 func cmdWork(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("synth work", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	storeDir := fs.String("store", "", "shared artifact store directory holding the job queue")
+	remote := fs.String("remote", "", "base URL of a synth serve node whose store to work against (e.g. http://host:8091)")
+	token := fs.String("token", "", "bearer token for the -remote node (must match its serve -token)")
 	workers := fs.Int("workers", 0, "in-process worker pool size (0 = GOMAXPROCS)")
 	id := fs.String("id", "", "worker ID used in leases and results (default: worker-<pid>)")
 	ttl := fs.Duration("lease-ttl", cluster.DefaultLeaseTTL, "lease expiry: heartbeat budget for this worker, reclaim horizon for others")
@@ -162,16 +166,32 @@ func cmdWork(ctx context.Context, args []string, stdout, stderr io.Writer) error
 	if *id == "" {
 		*id = fmt.Sprintf("worker-%d", os.Getpid())
 	}
-	q, err := openQueue(*storeDir)
-	if err != nil {
-		return err
+	var (
+		q   *cluster.Queue
+		err error
+	)
+	switch {
+	case *remote != "" && *storeDir != "":
+		return fmt.Errorf("-store and -remote are mutually exclusive")
+	case *remote != "":
+		be, err := store.OpenRemote(*remote, *token)
+		if err != nil {
+			return err
+		}
+		if q, err = cluster.OpenQueue(be); err != nil {
+			return err
+		}
+	default:
+		if q, err = openQueue(*storeDir); err != nil {
+			return err
+		}
 	}
 	m, err := q.Manifest()
 	if err != nil {
 		return err
 	}
 	if m == nil {
-		return fmt.Errorf("nothing dispatched in %s (run \"synth dispatch\" first)", *storeDir)
+		return fmt.Errorf("nothing dispatched yet (run \"synth dispatch\" first)")
 	}
 	opts, err := cluster.PipelineOptions(m.Spec)
 	if err != nil {
@@ -255,6 +275,9 @@ type clusterStatus struct {
 	Failed  int            `json:"failed"`
 	Deduped int            `json:"deduped"`
 	Workers map[string]int `json:"workers"` // active leases per worker
+	// Node is the serving process's embedded worker pool, when one is
+	// running: pool size, autoscaler bounds, and recent scaling decisions.
+	Node *cluster.SupervisorStatus `json:"node,omitempty"`
 }
 
 // buildClusterStatus reads a queue's current shape. It returns nil (no

@@ -12,9 +12,9 @@
 //	synth bench [-suite quick] [-out FILE] [-check BASELINE.json] [-max-regress 0.2]
 //	synth explore {-spec FILE | -preset NAME} [-store DIR] [-top K] [-json] [-dispatch [-wait]]
 //	synth dispatch -store DIR [-suite quick] [-isas LIST] [-levels LIST] [-wait] [-force]
-//	synth work -store DIR [-id NAME] [-lease-ttl D] [-workers N]
+//	synth work {-store DIR | -remote URL [-token SECRET]} [-id NAME] [-lease-ttl D] [-workers N]
 //	synth store-gc -store DIR [-max-age D] [-max-bytes N] [-dry-run]
-//	synth serve [-addr HOST:PORT] [-store DIR] [-token SECRET]
+//	synth serve [-addr HOST:PORT] [-store DIR] [-token SECRET] [-pool-max N [-pool-min N] [-job-timeout D]]
 //	synth workloads
 //
 // `synth experiments` renders the same rows as the library API in
@@ -67,20 +67,22 @@ func addCommon(fs *flag.FlagSet, c *commonFlags) {
 }
 
 func (c *commonFlags) pipeline() (*pipeline.Pipeline, error) {
-	var st *store.Store
-	if c.storeDir != "" {
-		var err error
-		if st, err = store.Open(c.storeDir); err != nil {
-			return nil, err
-		}
+	if c.storeDir == "" {
+		// A literal nil: wrapping a nil *store.Store in the Backend
+		// interface would read as non-nil inside the pipeline.
+		return c.pipelineWith(nil)
+	}
+	st, err := store.Open(c.storeDir)
+	if err != nil {
+		return nil, err
 	}
 	return c.pipelineWith(st)
 }
 
-// pipelineWith builds the pipeline over an already-opened store (nil =
-// memory-only), for commands that also hold the store's cluster queue and
-// must share one Store instance between both.
-func (c *commonFlags) pipelineWith(st *store.Store) (*pipeline.Pipeline, error) {
+// pipelineWith builds the pipeline over an already-opened store backend
+// (nil = memory-only), for commands that also hold the backend's cluster
+// queue and must share one instance between both.
+func (c *commonFlags) pipelineWith(st store.Backend) (*pipeline.Pipeline, error) {
 	target := isa.ByName(c.isaName)
 	if target == nil {
 		return nil, fmt.Errorf("unknown ISA %q", c.isaName)
@@ -180,9 +182,9 @@ Commands:
   bench        time the cold profile+validate path and emit a JSON report
   explore      sweep a microarchitecture design space and rank the points
   dispatch     enqueue a suite's jobs into a shared store's cluster queue
-  work         run one cluster worker: lease, execute, ack until drained
+  work         run one cluster worker (-store DIR, or -remote URL of a serve node)
   store-gc     evict old entries from a persistent artifact store
-  serve        expose profile/synthesize/experiments as an HTTP service
+  serve        expose the HTTP service; -pool-max N embeds a self-scaling worker pool
   workloads    list available workload/input pairs
 
 Common flags: -workers N  -seed N  -isa NAME  -O N  -store DIR

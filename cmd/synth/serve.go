@@ -11,9 +11,11 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"os"
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -23,6 +25,7 @@ import (
 	"repro/internal/explore"
 	"repro/internal/pipeline"
 	"repro/internal/profile"
+	"repro/internal/store"
 	"repro/internal/workloads"
 )
 
@@ -56,6 +59,13 @@ type serverOptions struct {
 	// queue, when non-nil, exposes the store's cluster job queue on
 	// /api/v1/cluster/status.
 	queue *cluster.Queue
+	// storeBackend, when non-nil, is served on /api/v1/store/ so remote
+	// `synth work -remote` nodes can share this node's store and queue
+	// without a shared filesystem.
+	storeBackend store.Backend
+	// sup, when non-nil, is the embedded worker pool whose status rides
+	// along on /api/v1/cluster/status.
+	sup *cluster.Supervisor
 }
 
 // newServer wraps a pipeline for HTTP serving.
@@ -89,6 +99,12 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("/api/v1/batch/synthesize", s.limited(s.handleBatchSynthesize))
 	mux.HandleFunc("/api/v1/cluster/status", s.handleClusterStatus)
 	mux.HandleFunc("/api/v1/stats", s.handleStats)
+	if s.opts.storeBackend != nil {
+		// Store ops are cheap I/O, so they bypass the admission limiter —
+		// a busy pipeline must not starve the fabric's coordination traffic —
+		// but sit behind auth like every other /api/v1 route.
+		mux.Handle("/api/v1/store/", http.StripPrefix("/api/v1/store", store.NewHandler(s.opts.storeBackend)))
+	}
 	return s.authenticated(mux)
 }
 
@@ -519,9 +535,10 @@ func (s *server) handleBatchSynthesize(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, resp)
 }
 
-// handleClusterStatus reports the store's cluster job queue: totals,
-// per-state counts, and active workers. 404 without a store or before any
-// dispatch.
+// handleClusterStatus reports the store's cluster job queue — totals,
+// per-state counts, active workers — plus the embedded pool's supervisor
+// status when one is running. 404 without a store, or before any dispatch
+// when there is no embedded pool to report either.
 func (s *server) handleClusterStatus(w http.ResponseWriter, r *http.Request) {
 	if s.opts.queue == nil {
 		httpError(w, http.StatusNotFound, "no cluster queue (serve started without -store)")
@@ -531,6 +548,13 @@ func (s *server) handleClusterStatus(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		httpError(w, http.StatusInternalServerError, "%v", err)
 		return
+	}
+	if s.opts.sup != nil {
+		ns := s.opts.sup.Status()
+		if st == nil {
+			st = &clusterStatus{} // idle node awaiting its first dispatch
+		}
+		st.Node = &ns
 	}
 	if st == nil {
 		httpError(w, http.StatusNotFound, "nothing dispatched (run \"synth dispatch -store ...\")")
@@ -567,6 +591,11 @@ func cmdServe(ctx context.Context, args []string, stdout, stderr io.Writer) erro
 	token := fs.String("token", "", "shared-secret bearer token required on every /api/v1 request (empty = unauthenticated)")
 	maxInflight := fs.Int("max-inflight", 0, "concurrently executing expensive requests (0 = 2x worker pool)")
 	maxQueue := fs.Int("max-queue", 64, "requests allowed to wait for a slot before 429s are shed (0 = shed immediately when all slots are busy)")
+	node := fs.String("node", "", "node name for the embedded worker pool (default: node-<pid>)")
+	poolMin := fs.Int("pool-min", 1, "embedded pool floor: workers kept alive even when the queue is idle (with -pool-max)")
+	poolMax := fs.Int("pool-max", 0, "embedded pool ceiling: autoscale up to this many workers draining the cluster queue (0 = no embedded pool)")
+	jobTimeout := fs.Duration("job-timeout", 0, "per-job execution bound for the embedded pool; an overrunning job is acked as failed (0 = unbounded)")
+	leaseTTL := fs.Duration("lease-ttl", cluster.DefaultLeaseTTL, "lease expiry the embedded pool enforces and heartbeats within (with -pool-max)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -579,12 +608,36 @@ func cmdServe(ctx context.Context, args []string, stdout, stderr io.Writer) erro
 		if opts.queue, err = openQueue(c.storeDir); err != nil {
 			return err
 		}
-		p, err = c.pipelineWith(opts.queue.Store())
+		opts.storeBackend = opts.queue.Store()
+		p, err = c.pipelineWith(opts.storeBackend)
 	} else {
 		p, err = c.pipeline()
 	}
 	if err != nil {
 		return err
+	}
+	var supDone chan error
+	if *poolMax > 0 {
+		if opts.queue == nil {
+			return fmt.Errorf("-pool-max requires -store (the embedded pool drains the store's cluster queue)")
+		}
+		if *node == "" {
+			*node = fmt.Sprintf("node-%d", os.Getpid())
+		}
+		opts.sup, err = cluster.NewSupervisor(opts.queue, cluster.SupervisorOptions{
+			Node:            *node,
+			Min:             *poolMin,
+			Max:             *poolMax,
+			TTL:             *leaseTTL,
+			JobTimeout:      *jobTimeout,
+			PipelineWorkers: c.workers,
+			OnEvent:         eventLogger(stderr),
+		})
+		if err != nil {
+			return err
+		}
+		supDone = make(chan error, 1)
+		go func() { supDone <- opts.sup.Run(ctx) }()
 	}
 	srv := &http.Server{
 		Addr:        *addr,
@@ -604,13 +657,38 @@ func cmdServe(ctx context.Context, args []string, stdout, stderr io.Writer) erro
 		defer cancel()
 		srv.Shutdown(shutdownCtx)
 	}()
-	fmt.Fprintf(stderr, "synth serve: listening on http://%s (store: %s)\n", *addr, storeDesc(c.storeDir))
+	pool := "none"
+	if opts.sup != nil {
+		pool = fmt.Sprintf("%s %d-%d", *node, *poolMin, *poolMax)
+	}
+	fmt.Fprintf(stderr, "synth serve: listening on http://%s (store: %s, pool: %s)\n",
+		*addr, storeDesc(c.storeDir), pool)
 	err = srv.ListenAndServe()
 	if errors.Is(err, http.ErrServerClosed) {
 		<-done
+		if supDone != nil {
+			// The serve context is canceled; wait for the pool to drain so
+			// no lease outlives the process unreleased.
+			<-supDone
+		}
 		return nil
 	}
 	return err
+}
+
+// eventLogger renders supervisor events as one JSON line each on w,
+// serialized so concurrent workers' events never interleave mid-line.
+func eventLogger(w io.Writer) func(cluster.Event) {
+	var mu sync.Mutex
+	return func(e cluster.Event) {
+		data, err := json.Marshal(e)
+		if err != nil {
+			return
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		fmt.Fprintf(w, "synth serve: %s\n", data)
+	}
 }
 
 // storeDesc renders the store configuration for the startup log line.

@@ -2,7 +2,6 @@ package cluster
 
 import (
 	"context"
-	"os"
 	"strings"
 	"testing"
 	"time"
@@ -159,7 +158,7 @@ func TestClusterDispatchConflict(t *testing.T) {
 	if err := q.WriteResult(Result{Job: jobB, Worker: "w1"}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := os.Stat(q.pendingPath(jobB.ID())); err != nil {
+	if _, err := q.be.Stat(q.pendingName(jobB.ID())); err != nil {
 		t.Fatalf("test setup: pending copy missing: %v", err)
 	}
 	specC := testSpec("fft/small1")

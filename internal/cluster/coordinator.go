@@ -3,7 +3,6 @@ package cluster
 import (
 	"context"
 	"fmt"
-	"os"
 	"time"
 
 	"repro/internal/compiler"
@@ -84,13 +83,13 @@ func Dispatch(ctx context.Context, q *Queue, p *pipeline.Pipeline, spec Spec, op
 			return out, err
 		}
 		if opts.Force {
-			os.Remove(q.donePath(j.ID()))
+			q.be.Remove(q.doneName(j.ID()))
 		} else {
 			if q.HasResult(j.ID()) {
 				// Clear any stale pending copy (left by an earlier
 				// no-worker dispatch or a reclaim race) so the done job
 				// cannot keep the queue counting as busy.
-				os.Remove(q.pendingPath(j.ID()))
+				q.be.Remove(q.pendingName(j.ID()))
 				out.AlreadyDone++
 				continue
 			}
@@ -98,7 +97,7 @@ func Dispatch(ctx context.Context, q *Queue, p *pipeline.Pipeline, spec Spec, op
 				if err := q.WriteResult(Result{Job: j, Worker: "dispatch", Deduped: true}); err != nil {
 					return out, err
 				}
-				os.Remove(q.pendingPath(j.ID()))
+				q.be.Remove(q.pendingName(j.ID()))
 				out.Deduped++
 				continue
 			}

@@ -116,9 +116,9 @@ func TestClusterExploreSpecValidation(t *testing.T) {
 	}
 	lease.Job.Kind = "teleport"
 	w := &Worker{Queue: q, Pipe: p, ID: "w1"}
-	res, err := w.execute(ctx, lease, DefaultLeaseTTL)
-	if err != nil {
-		t.Fatal(err)
+	res, panicked, err := w.execute(ctx, lease, DefaultLeaseTTL)
+	if err != nil || panicked {
+		t.Fatalf("execute: err=%v panicked=%v", err, panicked)
 	}
 	if !strings.Contains(res.Err, "unknown job kind") {
 		t.Errorf("unknown kind result: %+v", res)

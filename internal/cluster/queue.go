@@ -4,8 +4,8 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"os"
-	"path/filepath"
+	"io/fs"
+	"path"
 	"sort"
 	"strings"
 	"time"
@@ -13,8 +13,8 @@ import (
 	"repro/internal/store"
 )
 
-// Queue is the durable job queue persisted under one artifact store. A job
-// is exactly one file in exactly one state directory:
+// Queue is the durable job queue persisted under one artifact store
+// backend. A job is exactly one file in exactly one state directory:
 //
 //	<store root>/cluster/
 //	    manifest.json            the dispatch being executed
@@ -24,49 +24,49 @@ import (
 //
 // Every state transition is a single atomic rename, so exactly one claimer
 // wins a pending job and a reader never sees a partial entry. A Queue is
-// safe for concurrent use by any number of processes sharing the store
-// directory.
+// safe for concurrent use by any number of processes sharing the backend —
+// a common store directory, or a `synth serve` node's store reached over
+// HTTP, in which case the serving node's filesystem provides the atomicity
+// and no worker needs the coordinator's disk.
 type Queue struct {
-	st   *store.Store
-	root string
+	be store.Backend
 }
 
-// queue directory and file names.
+// queue directory and file names, relative to the store root.
 const (
 	queueDir     = "cluster"
-	pendingDir   = "pending"
-	leasedDir    = "leased"
-	doneDir      = "done"
-	manifestFile = "manifest.json"
+	pendingDir   = queueDir + "/pending"
+	leasedDir    = queueDir + "/leased"
+	doneDir      = queueDir + "/done"
+	manifestName = queueDir + "/manifest.json"
 )
 
-// OpenQueue creates (if needed) and returns the job queue under st's root.
-func OpenQueue(st *store.Store) (*Queue, error) {
-	root := filepath.Join(st.Root(), queueDir)
-	for _, d := range []string{pendingDir, leasedDir, doneDir} {
-		if err := os.MkdirAll(filepath.Join(root, d), 0o755); err != nil {
-			return nil, fmt.Errorf("cluster: open queue: %w", err)
-		}
+// OpenQueue returns the job queue living under be. State directories are
+// created lazily by the first write, so opening a queue performs no I/O.
+func OpenQueue(be store.Backend) (*Queue, error) {
+	if be == nil {
+		return nil, fmt.Errorf("cluster: open queue: nil backend")
 	}
-	return &Queue{st: st, root: root}, nil
+	return &Queue{be: be}, nil
 }
 
-// Store returns the artifact store the queue lives under.
-func (q *Queue) Store() *store.Store { return q.st }
+// Store returns the backend the queue lives under — the same backend
+// workers should hand to pipeline.Options.Store, so job coordination and
+// artifact sharing travel together.
+func (q *Queue) Store() store.Backend { return q.be }
 
-// writeJSON marshals v and writes it atomically to path, via the store
-// package's shared temp+rename convention.
-func writeJSON(path string, v any) error {
+// writeJSON marshals v and writes it atomically under name.
+func (q *Queue) writeJSON(name string, v any) error {
 	data, err := json.Marshal(v)
 	if err != nil {
 		return err
 	}
-	return store.WriteFileAtomic(path, data)
+	return q.be.WriteFile(name, data)
 }
 
-// readJSON unmarshals path into v.
-func readJSON(path string, v any) error {
-	data, err := os.ReadFile(path)
+// readJSON unmarshals the file under name into v.
+func (q *Queue) readJSON(name string, v any) error {
+	data, err := q.be.ReadFile(name)
 	if err != nil {
 		return err
 	}
@@ -75,7 +75,7 @@ func readJSON(path string, v any) error {
 
 // WriteManifest installs m as the queue's dispatch document.
 func (q *Queue) WriteManifest(m *Manifest) error {
-	if err := writeJSON(filepath.Join(q.root, manifestFile), m); err != nil {
+	if err := q.writeJSON(manifestName, m); err != nil {
 		return fmt.Errorf("cluster: write manifest: %w", err)
 	}
 	return nil
@@ -86,8 +86,8 @@ func (q *Queue) WriteManifest(m *Manifest) error {
 // an error, not a silent mismatch.
 func (q *Queue) Manifest() (*Manifest, error) {
 	var m Manifest
-	err := readJSON(filepath.Join(q.root, manifestFile), &m)
-	if errors.Is(err, os.ErrNotExist) {
+	err := q.readJSON(manifestName, &m)
+	if errors.Is(err, fs.ErrNotExist) {
 		return nil, nil
 	}
 	if err != nil {
@@ -103,14 +103,13 @@ func (q *Queue) Manifest() (*Manifest, error) {
 // dispatch with a different spec. The manifest itself is left for the
 // caller to overwrite.
 func (q *Queue) Reset() error {
-	for _, d := range []string{pendingDir, leasedDir, doneDir} {
-		dir := filepath.Join(q.root, d)
-		names, err := os.ReadDir(dir)
+	for _, dir := range []string{pendingDir, leasedDir, doneDir} {
+		infos, err := q.be.List(dir)
 		if err != nil {
 			return fmt.Errorf("cluster: reset: %w", err)
 		}
-		for _, n := range names {
-			if err := os.Remove(filepath.Join(dir, n.Name())); err != nil && !os.IsNotExist(err) {
+		for _, fi := range infos {
+			if err := q.be.Remove(path.Join(dir, fi.Name)); err != nil && !errors.Is(err, fs.ErrNotExist) {
 				return fmt.Errorf("cluster: reset: %w", err)
 			}
 		}
@@ -118,19 +117,19 @@ func (q *Queue) Reset() error {
 	return nil
 }
 
-// pendingPath maps a job ID to its pending-state file.
-func (q *Queue) pendingPath(id string) string {
-	return filepath.Join(q.root, pendingDir, id+".json")
+// pendingName maps a job ID to its pending-state file.
+func (q *Queue) pendingName(id string) string {
+	return pendingDir + "/" + id + ".json"
 }
 
-// donePath maps a job ID to its done-state file.
-func (q *Queue) donePath(id string) string {
-	return filepath.Join(q.root, doneDir, id+".json")
+// doneName maps a job ID to its done-state file.
+func (q *Queue) doneName(id string) string {
+	return doneDir + "/" + id + ".json"
 }
 
-// leasedPath maps a job ID and worker to the lease file encoding both.
-func (q *Queue) leasedPath(id, worker string) string {
-	return filepath.Join(q.root, leasedDir, id+"@"+sanitizeWorker(worker)+".json")
+// leasedName maps a job ID and worker to the lease file encoding both.
+func (q *Queue) leasedName(id, worker string) string {
+	return leasedDir + "/" + id + "@" + sanitizeWorker(worker) + ".json"
 }
 
 // sanitizeWorker restricts a worker ID to filename-safe characters, since
@@ -146,6 +145,12 @@ func sanitizeWorker(worker string) string {
 	}, worker)
 }
 
+// isEntry reports whether a listed file is a live queue entry (a .json
+// file that is not an in-flight atomic-write temporary).
+func isEntry(name string) bool {
+	return path.Ext(name) == ".json" && name[0] != '.'
+}
+
 // Enqueue adds j to the pending state unless the job already exists in any
 // state. It reports whether the job was actually enqueued. Concurrent
 // enqueues of the same job are harmless: both write identical content.
@@ -159,10 +164,10 @@ func (q *Queue) Enqueue(j Job) (bool, error) {
 	} else if _, leased := leases[id]; leased {
 		return false, nil
 	}
-	if _, err := os.Stat(q.pendingPath(id)); err == nil {
+	if _, err := q.be.Stat(q.pendingName(id)); err == nil {
 		return false, nil
 	}
-	if err := writeJSON(q.pendingPath(id), j); err != nil {
+	if err := q.writeJSON(q.pendingName(id), j); err != nil {
 		return false, fmt.Errorf("cluster: enqueue %s: %w", j.Workload, err)
 	}
 	return true, nil
@@ -170,7 +175,7 @@ func (q *Queue) Enqueue(j Job) (bool, error) {
 
 // HasResult reports whether the job has reached the done state.
 func (q *Queue) HasResult(id string) bool {
-	_, err := os.Stat(q.donePath(id))
+	_, err := q.be.Stat(q.doneName(id))
 	return err == nil
 }
 
@@ -178,7 +183,7 @@ func (q *Queue) HasResult(id string) bool {
 // earlier result for the same job (last writer wins; see Lease.Ack for why
 // duplicates are benign).
 func (q *Queue) WriteResult(r Result) error {
-	if err := writeJSON(q.donePath(r.Job.ID()), r); err != nil {
+	if err := q.writeJSON(q.doneName(r.Job.ID()), r); err != nil {
 		return fmt.Errorf("cluster: write result %s: %w", r.Job.Workload, err)
 	}
 	return nil
@@ -186,18 +191,17 @@ func (q *Queue) WriteResult(r Result) error {
 
 // Results returns every recorded result, sorted by workload name.
 func (q *Queue) Results() ([]Result, error) {
-	dir := filepath.Join(q.root, doneDir)
-	names, err := os.ReadDir(dir)
+	infos, err := q.be.List(doneDir)
 	if err != nil {
 		return nil, fmt.Errorf("cluster: results: %w", err)
 	}
 	var out []Result
-	for _, n := range names {
-		if filepath.Ext(n.Name()) != ".json" || n.Name()[0] == '.' {
+	for _, fi := range infos {
+		if !isEntry(fi.Name) {
 			continue
 		}
 		var r Result
-		if err := readJSON(filepath.Join(dir, n.Name()), &r); err != nil {
+		if err := q.readJSON(path.Join(doneDir, fi.Name), &r); err != nil {
 			continue // mid-rename or damaged: the next poll sees it
 		}
 		out = append(out, r)
@@ -224,12 +228,12 @@ func (q *Queue) Counts() (Counts, error) {
 		dir string
 		n   *int
 	}{{pendingDir, &c.Pending}, {leasedDir, &c.Leased}, {doneDir, &c.Done}} {
-		names, err := os.ReadDir(filepath.Join(q.root, d.dir))
+		infos, err := q.be.List(d.dir)
 		if err != nil {
 			return c, fmt.Errorf("cluster: counts: %w", err)
 		}
-		for _, n := range names {
-			if filepath.Ext(n.Name()) == ".json" && n.Name()[0] != '.' {
+		for _, fi := range infos {
+			if isEntry(fi.Name) {
 				*d.n++
 			}
 		}
@@ -242,17 +246,16 @@ func (q *Queue) Counts() (Counts, error) {
 // residue of an ack that raced a reclaim). Raw Counts would report such
 // residue as live work; the dispatch conflict check needs the truth.
 func (q *Queue) activeJobs() (active int, err error) {
-	names, err := os.ReadDir(filepath.Join(q.root, pendingDir))
+	infos, err := q.be.List(pendingDir)
 	if err != nil {
 		return 0, fmt.Errorf("cluster: active jobs: %w", err)
 	}
-	for _, n := range names {
-		name := n.Name()
-		if filepath.Ext(name) != ".json" || name[0] == '.' {
+	for _, fi := range infos {
+		if !isEntry(fi.Name) {
 			continue
 		}
-		if id := strings.TrimSuffix(name, ".json"); q.HasResult(id) {
-			os.Remove(q.pendingPath(id))
+		if id := strings.TrimSuffix(fi.Name, ".json"); q.HasResult(id) {
+			q.be.Remove(q.pendingName(id))
 			continue
 		}
 		active++
@@ -272,35 +275,32 @@ func (q *Queue) activeJobs() (active int, err error) {
 // Claim attempts to take ownership of one pending job for worker. It
 // returns (nil, nil) when nothing is pending. Ownership is won by renaming
 // the pending file into the leased state: exactly one concurrent claimer's
-// rename succeeds, the rest see ENOENT and move to the next candidate. The
-// job is read and the heartbeat clock started *before* the rename — rename
-// preserves mtime — so the new lease is born fresh, never momentarily
-// expired (a pending file's own mtime may be older than the TTL on a
-// slow-draining queue), and a lost race costs nothing.
+// rename succeeds, the rest observe not-exist and move to the next
+// candidate. The job is read and the heartbeat clock started *before* the
+// rename — rename preserves mtime — so the new lease is born fresh, never
+// momentarily expired (a pending file's own mtime may be older than the
+// TTL on a slow-draining queue), and a lost race costs nothing.
 func (q *Queue) Claim(worker string) (*Lease, error) {
-	dir := filepath.Join(q.root, pendingDir)
-	names, err := os.ReadDir(dir)
+	infos, err := q.be.List(pendingDir)
 	if err != nil {
 		return nil, fmt.Errorf("cluster: claim: %w", err)
 	}
-	for _, n := range names {
-		name := n.Name()
-		if filepath.Ext(name) != ".json" || name[0] == '.' {
+	for _, fi := range infos {
+		if !isEntry(fi.Name) {
 			continue
 		}
-		id := strings.TrimSuffix(name, ".json")
-		pendingPath := filepath.Join(dir, name)
+		id := strings.TrimSuffix(fi.Name, ".json")
+		pendingName := q.pendingName(id)
 		var j Job
-		if err := readJSON(pendingPath, &j); err != nil {
-			continue // another worker claimed it between ReadDir and here
+		if err := q.readJSON(pendingName, &j); err != nil {
+			continue // another worker claimed it between List and here
 		}
-		now := time.Now()
-		os.Chtimes(pendingPath, now, now) // harmless if the rename is lost
-		leasedPath := q.leasedPath(id, worker)
-		if err := os.Rename(pendingPath, leasedPath); err != nil {
+		q.be.Touch(pendingName) // harmless if the rename is lost
+		leasedName := q.leasedName(id, worker)
+		if err := q.be.Rename(pendingName, leasedName); err != nil {
 			continue // another worker won this job
 		}
-		return &Lease{q: q, Job: j, Worker: worker, path: leasedPath}, nil
+		return &Lease{q: q, Job: j, Worker: worker, name: leasedName}, nil
 	}
 	return nil, nil
 }
@@ -309,34 +309,28 @@ func (q *Queue) Claim(worker string) (*Lease, error) {
 type leaseInfo struct {
 	id     string
 	worker string
-	path   string
+	name   string
 	mtime  time.Time
 }
 
 // leases parses the leased state directory.
 func (q *Queue) leases() (map[string]leaseInfo, error) {
-	dir := filepath.Join(q.root, leasedDir)
-	names, err := os.ReadDir(dir)
+	infos, err := q.be.List(leasedDir)
 	if err != nil {
 		return nil, fmt.Errorf("cluster: leases: %w", err)
 	}
 	out := make(map[string]leaseInfo)
-	for _, n := range names {
-		name := n.Name()
-		if filepath.Ext(name) != ".json" || name[0] == '.' {
+	for _, fi := range infos {
+		if !isEntry(fi.Name) {
 			continue
 		}
-		base := strings.TrimSuffix(name, ".json")
+		base := strings.TrimSuffix(fi.Name, ".json")
 		id, worker, ok := strings.Cut(base, "@")
 		if !ok {
 			continue
 		}
-		info, err := n.Info()
-		if err != nil {
-			continue // vanished under a concurrent ack/reclaim
-		}
 		out[id] = leaseInfo{id: id, worker: worker,
-			path: filepath.Join(dir, name), mtime: info.ModTime()}
+			name: path.Join(leasedDir, fi.Name), mtime: fi.ModTime}
 	}
 	return out, nil
 }
@@ -359,7 +353,7 @@ func (q *Queue) Workers() (map[string]int, error) {
 // the pending state and reports how many jobs it re-pended. A lease whose
 // job already reached done (the worker crashed between acking and removing
 // its lease) is simply cleaned up. Concurrent reclaimers race on renames,
-// which is safe: one wins, the rest see ENOENT.
+// which is safe: one wins, the rest observe not-exist.
 func (q *Queue) Reclaim(ttl time.Duration) (int, error) {
 	leases, err := q.leases()
 	if err != nil {
@@ -372,10 +366,10 @@ func (q *Queue) Reclaim(ttl time.Duration) (int, error) {
 			continue
 		}
 		if q.HasResult(l.id) {
-			os.Remove(l.path)
+			q.be.Remove(l.name)
 			continue
 		}
-		if err := os.Rename(l.path, q.pendingPath(l.id)); err == nil {
+		if err := q.be.Rename(l.name, q.pendingName(l.id)); err == nil {
 			reclaimed++
 		}
 	}
@@ -391,7 +385,7 @@ type Lease struct {
 	Job Job
 	// Worker is the owning worker's ID.
 	Worker string
-	path   string
+	name   string
 }
 
 // Heartbeat renews the lease by refreshing its file's mtime. Errors are
@@ -399,8 +393,7 @@ type Lease struct {
 // lease at worst means the job is redone by someone else, and the store
 // makes the redo cheap.
 func (l *Lease) Heartbeat() error {
-	now := time.Now()
-	return os.Chtimes(l.path, now, now)
+	return l.q.be.Touch(l.name)
 }
 
 // Ack records the job's result and releases the lease. If the lease was
@@ -412,7 +405,7 @@ func (l *Lease) Ack(r Result) error {
 	if err := l.q.WriteResult(r); err != nil {
 		return err
 	}
-	if err := os.Remove(l.path); err != nil && !os.IsNotExist(err) {
+	if err := l.q.be.Remove(l.name); err != nil && !errors.Is(err, fs.ErrNotExist) {
 		return fmt.Errorf("cluster: ack %s: %w", l.Job.Workload, err)
 	}
 	return nil
@@ -422,7 +415,7 @@ func (l *Lease) Ack(r Result) error {
 // worker shutting down mid-job: the job is immediately re-claimable
 // instead of waiting out the lease TTL.
 func (l *Lease) Release() error {
-	if err := os.Rename(l.path, l.q.pendingPath(l.Job.ID())); err != nil && !os.IsNotExist(err) {
+	if err := l.q.be.Rename(l.name, l.q.pendingName(l.Job.ID())); err != nil && !errors.Is(err, fs.ErrNotExist) {
 		return fmt.Errorf("cluster: release %s: %w", l.Job.Workload, err)
 	}
 	return nil
@@ -432,7 +425,7 @@ func (l *Lease) Release() error {
 // found to be already done (a stale pending duplicate left by a reclaim
 // race).
 func (l *Lease) Drop() error {
-	if err := os.Remove(l.path); err != nil && !os.IsNotExist(err) {
+	if err := l.q.be.Remove(l.name); err != nil && !errors.Is(err, fs.ErrNotExist) {
 		return fmt.Errorf("cluster: drop %s: %w", l.Job.Workload, err)
 	}
 	return nil

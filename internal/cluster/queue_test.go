@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"os"
+	"path/filepath"
 	"sync"
 	"testing"
 	"time"
@@ -30,11 +31,19 @@ func testSpec(workloads ...string) Spec {
 	}
 }
 
-// backdate pushes a lease file's heartbeat into the past.
+// backdate pushes a lease file's heartbeat into the past. It reaches
+// through to the filesystem (Backend has no "set mtime backwards" op —
+// production code never needs one), unwrapping a fault decorator if the
+// chaos suite is in play.
 func backdate(t *testing.T, l *Lease, age time.Duration) {
 	t.Helper()
 	old := time.Now().Add(-age)
-	if err := os.Chtimes(l.path, old, old); err != nil {
+	be := l.q.be
+	if f, ok := be.(*store.Fault); ok {
+		be = f.Inner()
+	}
+	st := be.(*store.Store)
+	if err := os.Chtimes(filepath.Join(st.Root(), filepath.FromSlash(l.name)), old, old); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -2,7 +2,9 @@ package cluster
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"runtime/debug"
 	"time"
 
 	"repro/internal/compiler"
@@ -37,6 +39,11 @@ type Worker struct {
 	Poll time.Duration
 	// OnJob, when non-nil, observes every acked result (for CLI logging).
 	OnJob func(Result)
+
+	// exec, when non-nil, replaces the real job execution — a test hook
+	// so supervisor and chaos tests can script job behavior (block, fail,
+	// panic) without running the pipeline.
+	exec func(context.Context, Job) error
 }
 
 // Summary reports one worker's run.
@@ -44,6 +51,11 @@ type Summary struct {
 	// Jobs counts acked jobs, Failed the subset that failed.
 	Jobs   int
 	Failed int
+	// Panics counts jobs whose execution panicked. The first panic of a
+	// job releases its lease for an immediate retry (the panic may be a
+	// transient of this process); a job that panics again is acked as
+	// failed so the queue still converges.
+	Panics int
 }
 
 // PipelineOptions translates a dispatch spec into the pipeline options a
@@ -92,6 +104,7 @@ func (w *Worker) Run(ctx context.Context) (Summary, error) {
 		total = m.Total
 	}
 	var stalledSince time.Time
+	panickedJobs := make(map[string]bool)
 	for {
 		if err := ctx.Err(); err != nil {
 			return sum, err
@@ -146,12 +159,26 @@ func (w *Worker) Run(ctx context.Context) (Summary, error) {
 			lease.Drop() // stale pending duplicate from a reclaim race
 			continue
 		}
-		res, err := w.execute(ctx, lease, ttl)
+		res, panicked, err := w.execute(ctx, lease, ttl)
 		if err != nil { // canceled mid-job: hand the job back
 			lease.Release()
 			return sum, err
 		}
-		if err := lease.Ack(res); err != nil {
+		if panicked {
+			sum.Panics++
+			if id := lease.Job.ID(); !panickedJobs[id] {
+				// First panic of this job: the lease must not leak until
+				// TTL expiry. Release it for an immediate retry — by us or
+				// any other node — in case the panic was transient here.
+				panickedJobs[id] = true
+				lease.Release()
+				continue
+			}
+			// Second panic of the same job: deterministic. Fall through and
+			// ack it as failed so the queue converges instead of bouncing
+			// the job between panicking workers forever.
+		}
+		if err := w.ack(lease, res); err != nil {
 			return sum, err
 		}
 		sum.Jobs++
@@ -164,10 +191,38 @@ func (w *Worker) Run(ctx context.Context) (Summary, error) {
 	}
 }
 
+// Ack retry policy: transient store errors (an HTTP backend riding out a
+// blip, a full-disk hiccup) are retried with exponential backoff before
+// the worker gives the job back. Variables so tests can compress time.
+var (
+	ackAttempts = 6
+	ackBackoff  = 50 * time.Millisecond
+)
+
+// ack records the result, retrying transient store failures with
+// exponential backoff. If the store stays broken the lease is released —
+// the job returns to pending for a healthier node — and the error is
+// returned to stop this worker.
+func (w *Worker) ack(lease *Lease, res Result) error {
+	var err error
+	delay := ackBackoff
+	for attempt := 0; attempt < ackAttempts; attempt++ {
+		if err = lease.Ack(res); err == nil {
+			return nil
+		}
+		time.Sleep(delay)
+		delay *= 2
+	}
+	lease.Release()
+	return fmt.Errorf("cluster: ack failed after %d attempts: %w", ackAttempts, err)
+}
+
 // execute runs one job's (ISA, level) grid through the pipeline,
 // heartbeating the lease in the background. Job failures are recorded in
-// the Result, not returned: only cancellation aborts the worker.
-func (w *Worker) execute(ctx context.Context, lease *Lease, ttl time.Duration) (Result, error) {
+// the Result, not returned: only cancellation aborts the worker. The
+// second return reports that the job's execution panicked (recovered into
+// the Result), which Run turns into release-and-retry instead of an ack.
+func (w *Worker) execute(ctx context.Context, lease *Lease, ttl time.Duration) (Result, bool, error) {
 	res := Result{Job: lease.Job, Worker: w.ID}
 
 	hbCtx, stopHB := context.WithCancel(ctx)
@@ -188,17 +243,41 @@ func (w *Worker) execute(ctx context.Context, lease *Lease, ttl time.Duration) (
 	defer func() { stopHB(); <-hbDone }()
 
 	start := time.Now()
-	before := w.Pipe.CacheStats()
-	err := w.runJob(ctx, lease.Job)
-	res.Stats = w.Pipe.CacheStats().Sub(before)
+	var before pipeline.CacheStats
+	if w.Pipe != nil { // nil only under the exec test hook
+		before = w.Pipe.CacheStats()
+	}
+	err := w.runRecovered(ctx, lease.Job)
+	if w.Pipe != nil {
+		res.Stats = w.Pipe.CacheStats().Sub(before)
+	}
 	res.Millis = time.Since(start).Milliseconds()
+	var pe *pipeline.PanicError
+	panicked := errors.As(err, &pe)
 	if err != nil {
-		if ctx.Err() != nil {
-			return res, ctx.Err()
+		if ctx.Err() != nil && !panicked {
+			return res, false, ctx.Err()
 		}
 		res.Err = err.Error()
 	}
-	return res, nil
+	return res, panicked, nil
+}
+
+// runRecovered executes one job, converting a panic on the calling
+// goroutine into a *pipeline.PanicError. Panics inside pipeline stage
+// fan-out arrive already converted (pipeline.Map recovers its pool
+// goroutines — a recover here could not reach those); this guards the
+// worker's own frame so no panic path leaks the lease until TTL expiry.
+func (w *Worker) runRecovered(ctx context.Context, j Job) (err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = &pipeline.PanicError{Value: v, Stack: debug.Stack()}
+		}
+	}()
+	if w.exec != nil {
+		return w.exec(ctx, j)
+	}
+	return w.runJob(ctx, j)
 }
 
 // runJob fans the job's grid points out on the pipeline's worker pool.

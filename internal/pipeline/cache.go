@@ -5,8 +5,10 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"io/fs"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/cache"
 	"repro/internal/compiler"
@@ -163,7 +165,7 @@ type codec struct {
 type artifactCache struct {
 	mu         sync.Mutex
 	m          map[Key]*entry
-	disk       *store.Store // nil = memory-only
+	disk       store.Backend // nil = memory-only
 	hits       atomic.Uint64
 	misses     atomic.Uint64
 	diskHits   atomic.Uint64
@@ -171,7 +173,7 @@ type artifactCache struct {
 	computed   [NumStages]atomic.Uint64
 }
 
-func newArtifactCache(disk *store.Store) *artifactCache {
+func newArtifactCache(disk store.Backend) *artifactCache {
 	return &artifactCache{m: make(map[Key]*entry), disk: disk}
 }
 
@@ -194,6 +196,9 @@ func (c *artifactCache) fromDisk(k Key, cd *codec) (any, bool) {
 	if c.disk == nil || cd == nil {
 		return nil, false
 	}
+	// Backend.Get verifies the envelope checksum and canonical key; any
+	// transport- or corruption-level damage reads as a miss here and the
+	// decode below catches payloads that are valid JSON but wrong shape.
 	payload, ok := c.disk.Get(k.Digest(), cd.kind, k.Canonical())
 	if !ok {
 		return nil, false
@@ -258,19 +263,135 @@ func (c *artifactCache) do(ctx context.Context, k Key, cd *codec, fn func() (any
 			return v, nil
 		}
 
-		c.misses.Add(1)
-		if int(k.Stage) < len(c.computed) {
-			c.computed[k.Stage].Add(1)
+		if c.disk != nil && cd != nil {
+			// Persisted stage over a shared store: gate the computation on a
+			// cross-process in-progress marker so concurrent processes never
+			// duplicate it. computeGated writes the artifact through itself.
+			e.val, e.err = c.computeGated(ctx, k, cd, fn)
+		} else {
+			e.val, e.err = c.compute(k, fn)
 		}
-		e.val, e.err = fn()
 		if e.err != nil {
 			c.mu.Lock()
 			delete(c.m, k)
 			c.mu.Unlock()
-		} else {
-			c.toDisk(k, cd, e.val)
 		}
 		close(e.ready)
 		return e.val, e.err
 	}
+}
+
+// compute runs fn, counting it as an actual artifact computation.
+func (c *artifactCache) compute(k Key, fn func() (any, error)) (any, error) {
+	c.misses.Add(1)
+	if int(k.Stage) < len(c.computed) {
+		c.computed[k.Stage].Add(1)
+	}
+	return fn()
+}
+
+// The in-progress marker timings. A process that vanishes mid-computation
+// (crash, SIGKILL) leaves its marker behind; waiters steal it once the
+// heartbeat goes stale, so wipTTL bounds how long a crash can stall other
+// processes. Variables rather than constants so tests can compress time.
+var (
+	wipTTL  = 30 * time.Second
+	wipPoll = 25 * time.Millisecond
+)
+
+// wipName is the in-progress marker path for one artifact.
+func wipName(k Key) string {
+	return store.WIPDir + "/" + k.Digest() + ".json"
+}
+
+// computeGated computes a persisted artifact under a store-level
+// in-progress marker, so processes sharing a store — including ones on
+// different machines sharing it over HTTP — single-flight the computation
+// exactly like goroutines sharing the in-memory map do. The winner of the
+// exclusive marker creation computes, writes the artifact through, then
+// removes the marker; losers poll for the artifact and adopt it as a disk
+// hit. A stale marker (no heartbeat for wipTTL) is stolen, and any marker
+// operation failing for other reasons degrades to an uncoordinated compute:
+// the gate is a dedup optimization, never a correctness gate.
+func (c *artifactCache) computeGated(ctx context.Context, k Key, cd *codec, fn func() (any, error)) (any, error) {
+	marker := wipName(k)
+	retried := false
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		err := c.disk.CreateExclusive(marker, []byte(k.Canonical()))
+		if err == nil {
+			if retried {
+				// We waited on another process's marker before winning the
+				// claim; it may have finished between our last poll and now.
+				if v, ok := c.fromDisk(k, cd); ok {
+					c.disk.Remove(marker)
+					c.diskHits.Add(1)
+					return v, nil
+				}
+			}
+			return c.computeOwned(k, cd, marker, fn)
+		}
+		if !errors.Is(err, fs.ErrExist) {
+			// Store flake on the marker path: fall back to computing without
+			// coordination rather than blocking the pipeline.
+			c.diskErrors.Add(1)
+			v, ferr := c.compute(k, fn)
+			if ferr == nil {
+				c.toDisk(k, cd, v)
+			}
+			return v, ferr
+		}
+		// Another process holds the claim: wait for its artifact.
+		retried = true
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(wipPoll):
+		}
+		if v, ok := c.fromDisk(k, cd); ok {
+			c.diskHits.Add(1)
+			return v, nil
+		}
+		if fi, serr := c.disk.Stat(marker); serr == nil {
+			if time.Since(fi.ModTime) > wipTTL {
+				// The owner stopped heartbeating: steal the stale marker and
+				// loop back to claim it ourselves.
+				c.disk.Remove(marker)
+			}
+		}
+		// Marker gone without an artifact (owner failed): loop reclaims it.
+	}
+}
+
+// computeOwned runs fn while holding the in-progress marker, heartbeating
+// it so waiters can tell a live computation from a dead process. The
+// artifact is written through before the marker is released, so a waiter
+// that observes the marker disappear without an artifact knows the owner
+// failed.
+func (c *artifactCache) computeOwned(k Key, cd *codec, marker string, fn func() (any, error)) (any, error) {
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		t := time.NewTicker(wipTTL / 3)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				c.disk.Touch(marker)
+			}
+		}
+	}()
+	v, err := c.compute(k, fn)
+	if err == nil {
+		c.toDisk(k, cd, v)
+	}
+	close(stop)
+	<-done
+	c.disk.Remove(marker)
+	return v, err
 }

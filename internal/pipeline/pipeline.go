@@ -48,12 +48,15 @@ type Options struct {
 	ProfileCache cache.Config
 	// MaxInstrs bounds profiled executions (0 = VM default).
 	MaxInstrs uint64
-	// Store, when non-nil, adds a persistent disk tier under the artifact
-	// cache: memory misses probe the store first, and computed artifacts
-	// are written through, so separate processes sharing one store
-	// directory never duplicate a compile, profile, or synthesis. Off by
-	// default (nil = memory-only caching, the pre-store behavior).
-	Store *store.Store
+	// Store, when non-nil, adds a persistent tier under the artifact
+	// cache: memory misses probe the backend first, and computed artifacts
+	// are written through under a cross-process in-progress marker, so
+	// separate processes sharing one backend — a store directory, or a
+	// `synth serve` node reached over HTTP — never duplicate a compile,
+	// profile, or synthesis. Off by default (nil = memory-only caching,
+	// the pre-store behavior). Callers holding a concrete backend pointer
+	// must take care not to store a typed nil here; pass a literal nil.
+	Store store.Backend
 }
 
 // Pipeline executes framework stages with caching and bounded parallelism.

@@ -3,8 +3,29 @@ package pipeline
 import (
 	"context"
 	"errors"
+	"fmt"
+	"runtime/debug"
 	"sync"
 )
+
+// PanicError is a panic recovered from a stage function running on the
+// fan-out pool, converted into an ordinary job failure. Without the
+// conversion a panicking stage would kill the whole process: the panic
+// unwinds a pool goroutine, where no caller's recover can reach it. The
+// cluster worker depends on this — it must observe a panicking job as an
+// error so it can release the lease instead of leaking it until TTL expiry.
+type PanicError struct {
+	// Value is the value passed to panic.
+	Value any
+	// Stack is the panicking goroutine's stack trace.
+	Stack []byte
+}
+
+// Error renders the panic value; the stack is kept separate so callers can
+// log it without doubling every error message.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("pipeline: job panicked: %v", e.Value)
+}
 
 // Map fans fn out over jobs on the pipeline's bounded worker pool and
 // returns the results in job order, which keeps aggregation deterministic
@@ -37,7 +58,7 @@ func Map[J, R any](ctx context.Context, p *Pipeline, jobs []J, fn func(context.C
 					errs[i] = err
 					continue
 				}
-				r, err := fn(ctx, jobs[i])
+				r, err := runJob(ctx, jobs[i], fn)
 				if err != nil {
 					errs[i] = err
 					cancel()
@@ -69,6 +90,17 @@ func Map[J, R any](ctx context.Context, p *Pipeline, jobs []J, fn func(context.C
 		}
 	}
 	return results, nil
+}
+
+// runJob invokes fn for one job, recovering a panic into a *PanicError so
+// it propagates as the job's failure instead of tearing down the process.
+func runJob[J, R any](ctx context.Context, job J, fn func(context.Context, J) (R, error)) (r R, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = &PanicError{Value: v, Stack: debug.Stack()}
+		}
+	}()
+	return fn(ctx, job)
 }
 
 // ForEach is Map for jobs that produce no result.
