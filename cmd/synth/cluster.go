@@ -240,6 +240,7 @@ func cmdStoreGC(ctx context.Context, args []string, stdout, stderr io.Writer) er
 	storeDir := fs.String("store", "", "persistent artifact store directory to prune")
 	maxAge := fs.Duration("max-age", 0, "evict entries older than this (0 = no age limit)")
 	maxBytes := fs.Int64("max-bytes", 0, "evict oldest entries until the store fits this many bytes (0 = no size limit)")
+	wipMaxAge := fs.Duration("wip-max-age", 0, "evict in-progress markers whose heartbeat is older than this (0 = leave markers alone)")
 	dryRun := fs.Bool("dry-run", false, "report what would be evicted without removing anything")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -251,7 +252,7 @@ func cmdStoreGC(ctx context.Context, args []string, stdout, stderr io.Writer) er
 	if err != nil {
 		return err
 	}
-	stats, err := st.Prune(store.PruneOptions{MaxAge: *maxAge, MaxBytes: *maxBytes, DryRun: *dryRun})
+	stats, err := st.Prune(store.PruneOptions{MaxAge: *maxAge, MaxBytes: *maxBytes, WIPMaxAge: *wipMaxAge, DryRun: *dryRun})
 	if err != nil {
 		return err
 	}
@@ -262,6 +263,10 @@ func cmdStoreGC(ctx context.Context, args []string, stdout, stderr io.Writer) er
 	fmt.Fprintf(stdout, "store-gc%s: scanned %d entries (%d bytes), evicted %d (%d bytes), %d entries (%d bytes) remain\n",
 		mode, stats.Scanned, stats.ScannedBytes, stats.Removed, stats.RemovedBytes,
 		stats.Scanned-stats.Removed, stats.ScannedBytes-stats.RemovedBytes)
+	if *wipMaxAge > 0 {
+		fmt.Fprintf(stdout, "store-gc%s: scanned %d in-progress markers, evicted %d stale\n",
+			mode, stats.WIPScanned, stats.WIPRemoved)
+	}
 	return nil
 }
 

@@ -9,7 +9,9 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/explore"
+	"repro/internal/generate"
 	"repro/internal/pipeline"
+	"repro/internal/workloads"
 )
 
 // cmdExplore runs a design-space exploration sweep: a declarative spec
@@ -28,6 +30,7 @@ func cmdExplore(ctx context.Context, args []string, stdout, stderr io.Writer) er
 	addCommon(fs, &c)
 	specFile := fs.String("spec", "", "sweep specification JSON file (see docs/explore.md)")
 	preset := fs.String("preset", "", "built-in sweep preset (calibration); alternative to -spec")
+	genFile := fs.String("generate", "", "generation spec JSON file whose accepted corpus joins the sweep's workloads (local runs only)")
 	top := fs.Int("top", 0, "ranked-table rows to print (0 = the spec's topK, default 10)")
 	asJSON := fs.Bool("json", false, "emit the full report as JSON instead of the table")
 	stats := fs.Bool("stats", false, "print artifact-cache statistics to stderr afterwards")
@@ -49,6 +52,13 @@ func cmdExplore(ctx context.Context, args []string, stdout, stderr io.Writer) er
 	}
 
 	var p *pipeline.Pipeline
+	if *genFile != "" && *dispatch {
+		// Workers rebuild their pipelines from the dispatch manifest and
+		// resolve workloads by name from the static registry; a generated
+		// corpus only exists in the dispatching process, so it cannot ride
+		// a cluster sweep.
+		return fmt.Errorf("-generate is local-only; it cannot be combined with -dispatch")
+	}
 	if *dispatch {
 		if c.storeDir == "" {
 			return fmt.Errorf("-dispatch needs -store (the cluster queue lives under the shared store)")
@@ -80,6 +90,12 @@ func cmdExplore(ctx context.Context, args []string, stdout, stderr io.Writer) er
 		}
 	}
 
+	if *genFile != "" {
+		if err := addGeneratedWorkloads(ctx, p, sw, *genFile, stderr); err != nil {
+			return err
+		}
+	}
+
 	rep, err := explore.Run(ctx, p, sw)
 	if err != nil {
 		return err
@@ -94,6 +110,38 @@ func cmdExplore(ctx context.Context, args []string, stdout, stderr io.Writer) er
 	if *stats {
 		printStats(stderr, p)
 	}
+	return nil
+}
+
+// addGeneratedWorkloads realizes the generation spec in genFile through the
+// sweep's pipeline and appends every accepted clone to the sweep's workload
+// set, so one `synth explore -generate` invocation evaluates design points
+// against the baseline suite plus the directed synthetic corpus. Generated
+// workloads are registered before the sweep fans out; with a warm store the
+// generation step computes nothing.
+func addGeneratedWorkloads(ctx context.Context, p *pipeline.Pipeline, sw *explore.Sweep, genFile string, stderr io.Writer) error {
+	data, err := os.ReadFile(genFile)
+	if err != nil {
+		return err
+	}
+	spec, err := generate.ParseSpec(data)
+	if err != nil {
+		return fmt.Errorf("%s: %w", genFile, err)
+	}
+	corpus, err := generate.Corpus(ctx, p, spec)
+	if err != nil {
+		return err
+	}
+	if len(corpus) == 0 {
+		return fmt.Errorf("%s: generation spec produced no accepted workloads", genFile)
+	}
+	for _, w := range corpus {
+		if err := workloads.Register(w); err != nil {
+			return err
+		}
+		sw.Workloads = append(sw.Workloads, w)
+	}
+	fmt.Fprintf(stderr, "synth explore: generated corpus %s joins the sweep: %d workloads\n", spec.Name, len(corpus))
 	return nil
 }
 

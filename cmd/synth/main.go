@@ -10,10 +10,11 @@
 //	synth consolidate [-name NAME] [-synthesize] WORKLOAD-OR-PROFILE.json...
 //	synth experiments [-suite tiny|quick|full] [-only LIST] [-stats] [-store DIR]
 //	synth bench [-suite quick] [-out FILE] [-check BASELINE.json] [-max-regress 0.2]
-//	synth explore {-spec FILE | -preset NAME} [-store DIR] [-top K] [-json] [-dispatch [-wait]]
+//	synth explore {-spec FILE | -preset NAME} [-store DIR] [-top K] [-json] [-dispatch [-wait]] [-generate FILE]
+//	synth generate [-n N] [-spec FILE] [-suite quick] [-seed N] [-json] [-out DIR] [-dispatch [-wait]]
 //	synth dispatch -store DIR [-suite quick] [-isas LIST] [-levels LIST] [-wait] [-force]
 //	synth work {-store DIR | -remote URL [-token SECRET]} [-id NAME] [-lease-ttl D] [-workers N]
-//	synth store-gc -store DIR [-max-age D] [-max-bytes N] [-dry-run]
+//	synth store-gc -store DIR [-max-age D] [-max-bytes N] [-wip-max-age D] [-dry-run]
 //	synth serve [-addr HOST:PORT] [-store DIR] [-token SECRET] [-pool-max N [-pool-min N] [-job-timeout D]]
 //	synth workloads
 //
@@ -109,12 +110,12 @@ func printStats(w io.Writer, p *pipeline.Pipeline) {
 	if total > 0 {
 		rate = float64(cs.Hits+cs.DiskHits) / float64(total)
 	}
-	fmt.Fprintf(w, "artifact cache: %d hits, %d disk hits, %d misses (%.1f%% hit rate), %d disk errors, %d workers; computed parse=%d check=%d compile=%d profile=%d synthesize=%d validate=%d simulate=%d\n",
+	fmt.Fprintf(w, "artifact cache: %d hits, %d disk hits, %d misses (%.1f%% hit rate), %d disk errors, %d workers; computed parse=%d check=%d compile=%d profile=%d synthesize=%d validate=%d simulate=%d generate=%d\n",
 		cs.Hits, cs.DiskHits, cs.Misses, rate*100, cs.DiskErrors, p.Workers(),
 		cs.ComputedFor(pipeline.StageParse), cs.ComputedFor(pipeline.StageCheck),
 		cs.ComputedFor(pipeline.StageCompile), cs.ComputedFor(pipeline.StageProfile),
 		cs.ComputedFor(pipeline.StageSynthesize), cs.ComputedFor(pipeline.StageValidate),
-		cs.ComputedFor(pipeline.StageSimulate))
+		cs.ComputedFor(pipeline.StageSimulate), cs.ComputedFor(pipeline.StageGenerate))
 }
 
 // writeIndentedJSON renders v as indented JSON, the CLI's JSON style.
@@ -143,6 +144,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		err = cmdBench(ctx, args[1:], stdout, stderr)
 	case "explore":
 		err = cmdExplore(ctx, args[1:], stdout, stderr)
+	case "generate":
+		err = cmdGenerate(ctx, args[1:], stdout, stderr)
 	case "dispatch":
 		err = cmdDispatch(ctx, args[1:], stdout, stderr)
 	case "work":
@@ -181,6 +184,7 @@ Commands:
   experiments  regenerate the paper's tables and figures
   bench        time the cold profile+validate path and emit a JSON report
   explore      sweep a microarchitecture design space and rank the points
+  generate     sample and realize synthetic workloads targeting coverage holes
   dispatch     enqueue a suite's jobs into a shared store's cluster queue
   work         run one cluster worker (-store DIR, or -remote URL of a serve node)
   store-gc     evict old entries from a persistent artifact store

@@ -23,6 +23,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/explore"
+	"repro/internal/generate"
 	"repro/internal/pipeline"
 	"repro/internal/profile"
 	"repro/internal/store"
@@ -96,6 +97,7 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("/api/v1/consolidate", s.limited(s.handleConsolidate))
 	mux.HandleFunc("/api/v1/experiments", s.limited(s.handleExperiments))
 	mux.HandleFunc("/api/v1/explore", s.limited(s.handleExplore))
+	mux.HandleFunc("/api/v1/generate", s.limited(s.handleGenerate))
 	mux.HandleFunc("/api/v1/batch/synthesize", s.limited(s.handleBatchSynthesize))
 	mux.HandleFunc("/api/v1/cluster/status", s.handleClusterStatus)
 	mux.HandleFunc("/api/v1/stats", s.handleStats)
@@ -433,6 +435,39 @@ func (s *server) handleExplore(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		if r.Context().Err() != nil {
 			return // client gone mid-sweep
+		}
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, rep)
+}
+
+// handleGenerate runs directed workload generation: the POST body is the
+// same JSON spec `synth generate -spec` consumes, and the response is the
+// full generate.Report (requested vs. achieved features per point,
+// coverage before and after). The whole run occupies one admission slot;
+// the report and every underlying synthesis are cached pipeline
+// artifacts, so a repeated spec is answered from the store.
+func (s *server) handleGenerate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		httpError(w, http.StatusMethodNotAllowed, "POST a generation spec JSON body (see docs/generate.md)")
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad spec body: %v", err)
+		return
+	}
+	spec, err := generate.ParseSpec(body)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	rep, err := generate.Run(r.Context(), s.p, spec)
+	if err != nil {
+		if r.Context().Err() != nil {
+			return // client gone mid-run
 		}
 		httpError(w, http.StatusInternalServerError, "%v", err)
 		return

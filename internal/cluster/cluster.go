@@ -28,13 +28,15 @@ import (
 	"strings"
 
 	"repro/internal/cpu"
+	"repro/internal/generate"
 )
 
 // SchemaVersion is the queue's on-disk schema. Manifests written under a
 // different version are rejected, so mixed-binary fleets fail loudly
 // instead of corrupting each other's queues. Version 2 added exploration
-// dispatches (Spec.Explore, Job.Kind/Sims).
-const SchemaVersion = 2
+// dispatches (Spec.Explore, Job.Kind/Sims); version 3 added generation
+// dispatches (Spec.Generate, Job.GenIndex).
+const SchemaVersion = 3
 
 // Spec declares one dispatch: which workloads to synthesize, over which
 // (ISA, level) grid, and the pipeline options that shape the artifacts.
@@ -68,6 +70,13 @@ type Spec struct {
 	// instruction count (0 = run to completion); part of the simulation
 	// cache key, so every participant must agree on it.
 	SimMaxInstrs uint64 `json:"simMaxInstrs,omitempty"`
+	// Generate, when set, makes this a generation dispatch: the fleet
+	// realizes one directed synthetic workload per job (Job.GenIndex picks
+	// the point). The sampler is deterministic, so every worker derives the
+	// identical point list from this spec alone; the realized clones land
+	// in the shared store, where the dispatcher's closing generate.Run
+	// finds every synthesis warm. Workloads/ISAs/Levels are unused.
+	Generate *generate.Spec `json:"generate,omitempty"`
 }
 
 // Canonical returns the versioned, unambiguous encoding of the spec. Two
@@ -78,11 +87,15 @@ func (s Spec) Canonical() string {
 	for i, cs := range s.Explore {
 		sims[i] = cs.Canonical()
 	}
-	return fmt.Sprintf("v2|%s|%s|%s|%s|%d|%d|%d|%s|%d|%s|%d",
+	gen := ""
+	if s.Generate != nil {
+		gen = s.Generate.Canonical()
+	}
+	return fmt.Sprintf("v3|%s|%s|%s|%s|%d|%d|%d|%s|%d|%s|%d|%s",
 		s.Suite, strings.Join(s.Workloads, ","), strings.Join(s.ISAs, ","),
 		joinInts(s.Levels), s.Seed, s.TargetDyn, s.MaxInstrs,
 		s.ProfileISA, s.ProfileLevel,
-		strings.Join(sims, ";"), s.SimMaxInstrs)
+		strings.Join(sims, ";"), s.SimMaxInstrs, gen)
 }
 
 // Digest returns the spec's dispatch identity — the digest of its
@@ -97,9 +110,24 @@ func (s Spec) Digest() string {
 // Jobs enumerates the spec's job list: one job per workload carrying the
 // full (ISA, level) grid (see the package comment for why sharding is
 // per-workload). Exploration specs additionally stamp every job with the
-// machine configurations to simulate.
+// machine configurations to simulate. Generation specs shard on the point
+// axis instead: one job per directed sample, so N workers realize N
+// synthetic workloads concurrently.
 func (s Spec) Jobs() []Job {
 	specDigest := s.Digest()
+	if s.Generate != nil {
+		jobs := make([]Job, 0, s.Generate.N)
+		for i := 0; i < s.Generate.N; i++ {
+			jobs = append(jobs, Job{
+				Workload: fmt.Sprintf("gen[%d]", i),
+				Dispatch: specDigest,
+				Kind:     KindGenerate,
+				Gen:      s.Generate,
+				GenIndex: i,
+			})
+		}
+		return jobs
+	}
 	kind := ""
 	if len(s.Explore) > 0 {
 		kind = KindExplore

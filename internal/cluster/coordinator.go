@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/compiler"
+	"repro/internal/generate"
 	"repro/internal/isa"
 	"repro/internal/pipeline"
 	"repro/internal/workloads"
@@ -118,6 +119,25 @@ func Dispatch(ctx context.Context, q *Queue, p *pipeline.Pipeline, spec Spec, op
 // validateSpec resolves every name in the spec, so a bad dispatch fails
 // before anything is enqueued rather than as N failed jobs.
 func validateSpec(spec Spec) error {
+	if spec.Generate != nil {
+		// Generation dispatches have no workload grid of their own: the
+		// generate spec names the baseline suite, and its own validation
+		// covers bounds and axis names. The profiling point below still
+		// applies — workers profile the baseline through it.
+		if err := spec.Generate.Validate(); err != nil {
+			return fmt.Errorf("cluster: dispatch: %w", err)
+		}
+		if _, err := generate.BaselineWorkloads(spec.Generate); err != nil {
+			return fmt.Errorf("cluster: dispatch: %w", err)
+		}
+		if isa.ByName(spec.ProfileISA) == nil {
+			return fmt.Errorf("cluster: dispatch: unknown ISA %q", spec.ProfileISA)
+		}
+		if spec.ProfileLevel < 0 || spec.ProfileLevel >= len(compiler.Levels) {
+			return fmt.Errorf("cluster: dispatch: optimization level %d out of range 0-%d", spec.ProfileLevel, len(compiler.Levels)-1)
+		}
+		return nil
+	}
 	if len(spec.Workloads) == 0 {
 		return fmt.Errorf("cluster: dispatch: no workloads")
 	}
@@ -152,6 +172,13 @@ func validateSpec(spec Spec) error {
 // simulation summaries of every (config, level) cell whose config runs
 // on the grid point's ISA.
 func jobStored(q *Queue, p *pipeline.Pipeline, j Job) bool {
+	if j.Kind == KindGenerate {
+		// A generate job's synthesis key depends on the sampled profile's
+		// content fingerprint, which only the sampler knows; probing it here
+		// would mean re-sampling at dispatch time. Always enqueue — a warm
+		// store makes the job a fast no-op on the worker instead.
+		return false
+	}
 	w := workloads.ByName(j.Workload)
 	if w == nil {
 		return false

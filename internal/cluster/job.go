@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/cpu"
+	"repro/internal/generate"
 	"repro/internal/pipeline"
 )
 
@@ -11,6 +12,11 @@ import (
 // the worker simulates the workload's original and clone on every machine
 // configuration in Sims at every level.
 const KindExplore = "explore"
+
+// KindGenerate marks a job as a generation shard: the worker realizes one
+// directed synthetic workload — point GenIndex of the dispatch spec's
+// generate.Spec — through the pipeline's Synthesize → Validate path.
+const KindGenerate = "generate"
 
 // Job is one shard of a dispatch: every (ISA, level) point of one
 // workload. Jobs are self-describing — a pending file carries the whole
@@ -33,6 +39,13 @@ type Job struct {
 	// configurations and simulation bound (KindExplore jobs only).
 	Sims         []cpu.ConfigSpec `json:"sims,omitempty"`
 	SimMaxInstrs uint64           `json:"simMaxInstrs,omitempty"`
+	// Gen and GenIndex carry a generation spec and which of its sampled
+	// points this job realizes (KindGenerate jobs only). The spec rides in
+	// every job so jobs stay self-describing; the point index is also baked
+	// into Workload ("gen[i]"), which is what keeps generate job IDs
+	// distinct within a dispatch.
+	Gen      *generate.Spec `json:"gen,omitempty"`
+	GenIndex int            `json:"genIndex,omitempty"`
 }
 
 // ID returns the job's queue identity: a digest over the dispatch digest
@@ -46,8 +59,11 @@ func (j Job) ID() string {
 // (ISA, level) compile grid for pair-synthesis jobs, the (machine
 // configuration, level) simulation grid for exploration jobs.
 func (j Job) Cells() int {
-	if j.Kind == KindExplore {
+	switch j.Kind {
+	case KindExplore:
 		return len(j.Sims) * len(j.Levels)
+	case KindGenerate:
+		return 1 // one directed point per job
 	}
 	return len(j.ISAs) * len(j.Levels)
 }

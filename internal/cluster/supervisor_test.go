@@ -142,7 +142,7 @@ func TestSupervisorAutoscaleRace(t *testing.T) {
 	sup, err := NewSupervisor(q, SupervisorOptions{
 		Node: "test", Min: 1, Max: 4,
 		Poll: 2 * time.Millisecond, Interval: 10 * time.Millisecond,
-		TTL:  time.Hour, // reclaim must never fire: every execution is deliberate
+		TTL: time.Hour, // reclaim must never fire: every execution is deliberate
 		exec: func(ctx context.Context, j Job) error {
 			executions.Add(1)
 			time.Sleep(15 * time.Millisecond)

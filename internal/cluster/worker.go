@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/compiler"
+	"repro/internal/generate"
 	"repro/internal/isa"
 	"repro/internal/pipeline"
 	"repro/internal/workloads"
@@ -281,7 +282,15 @@ func (w *Worker) runRecovered(ctx context.Context, j Job) (err error) {
 }
 
 // runJob fans the job's grid points out on the pipeline's worker pool.
+// Generate jobs dispatch before the workload lookup: their Workload field
+// is a synthetic point label ("gen[i]"), not a registry name.
 func (w *Worker) runJob(ctx context.Context, j Job) error {
+	if j.Kind == KindGenerate {
+		if j.Gen == nil {
+			return fmt.Errorf("cluster: generate job %s carries no spec", j.Workload)
+		}
+		return generate.RealizePoint(ctx, w.Pipe, j.Gen, j.GenIndex)
+	}
 	wl := workloads.ByName(j.Workload)
 	if wl == nil {
 		return fmt.Errorf("cluster: unknown workload %q", j.Workload)

@@ -21,6 +21,7 @@ var guardedPackages = []string{
 	"../store",
 	"../cluster",
 	"../explore",
+	"../generate",
 	"../vm",
 }
 

@@ -1,0 +1,87 @@
+package generate
+
+import "math"
+
+// Coverage summarizes how a point set occupies the feature space:
+// pairwise-distance statistics (the farthest-point view of how spread the
+// set is) and per-dimension extremes (which workload pins each end of each
+// axis, and how much of the axis the set leaves empty).
+type Coverage struct {
+	// Points is the number of embedded profiles.
+	Points int `json:"points"`
+	// MinPairDist and MeanPairDist are the minimum and mean pairwise
+	// distances: a small minimum means two near-duplicate workloads, a
+	// small mean means the whole suite clusters in one region.
+	MinPairDist  float64 `json:"minPairDist"`
+	MeanPairDist float64 `json:"meanPairDist"`
+	// ClosestPair names the two nearest points.
+	ClosestPair [2]string `json:"closestPair"`
+	// Dims reports per-dimension extremes, index-aligned with FeatureNames.
+	Dims []DimCoverage `json:"dims"`
+}
+
+// DimCoverage is one dimension's occupied range.
+type DimCoverage struct {
+	// Name is the FeatureNames entry.
+	Name string `json:"name"`
+	// Min and Max are the extreme observed values; MinWorkload and
+	// MaxWorkload name the points attaining them.
+	Min         float64 `json:"min"`
+	Max         float64 `json:"max"`
+	MinWorkload string  `json:"minWorkload"`
+	MaxWorkload string  `json:"maxWorkload"`
+}
+
+// Analyze computes the coverage summary of a point set. Fewer than two
+// points have no pairwise statistics (zeros).
+func Analyze(points []Features) Coverage {
+	cov := Coverage{Points: len(points)}
+	for d := 0; d < NumFeatures; d++ {
+		dim := DimCoverage{Name: FeatureNames[d]}
+		for i, f := range points {
+			if len(f.Vec) != NumFeatures {
+				continue
+			}
+			v := f.Vec[d]
+			if i == 0 || v < dim.Min {
+				dim.Min, dim.MinWorkload = v, f.Workload
+			}
+			if i == 0 || v > dim.Max {
+				dim.Max, dim.MaxWorkload = v, f.Workload
+			}
+		}
+		cov.Dims = append(cov.Dims, dim)
+	}
+	if len(points) < 2 {
+		return cov
+	}
+	cov.MinPairDist = math.Inf(1)
+	var sum float64
+	var pairs int
+	for i := 0; i < len(points); i++ {
+		for j := i + 1; j < len(points); j++ {
+			d := Distance(points[i], points[j])
+			sum += d
+			pairs++
+			if d < cov.MinPairDist {
+				cov.MinPairDist = d
+				cov.ClosestPair = [2]string{points[i].Workload, points[j].Workload}
+			}
+		}
+	}
+	cov.MeanPairDist = sum / float64(pairs)
+	return cov
+}
+
+// nearestDistance returns the distance from f to its nearest neighbor in
+// points (infinite for an empty set) — the separation score the sampler
+// maximizes and the report gates on.
+func nearestDistance(f Features, points []Features) float64 {
+	best := math.Inf(1)
+	for _, p := range points {
+		if d := Distance(f, p); d < best {
+			best = d
+		}
+	}
+	return best
+}

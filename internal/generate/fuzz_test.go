@@ -1,0 +1,87 @@
+package generate_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/generate"
+)
+
+// FuzzGenerateSpec asserts ParseSpec never panics and never returns an
+// out-of-bounds spec: whatever decodes must pass Validate, carry a stable
+// fingerprint, and stay inside the sampler's documented ranges. Specs
+// arrive over process boundaries (POST /api/v1/generate, `-spec` files,
+// cluster job payloads), so hostile bytes must fail loudly.
+func FuzzGenerateSpec(f *testing.F) {
+	f.Add([]byte(`{"n": 8, "seed": 1}`))
+	f.Add([]byte(`{"name": "gen", "suite": "quick", "n": 4, "seed": 20100321}`))
+	f.Add([]byte(`{"n": 2, "seed": 1, "axes": ["miss", "taken"], "strength": 0.9, "candidates": 48}`))
+	f.Add([]byte(`{"n": 2, "seed": 1, "workloads": ["dijkstra/small"]}`))
+	f.Add([]byte(`{"n": 0}`))               // below range
+	f.Add([]byte(`{"n": 100000}`))          // above range
+	f.Add([]byte(`{"n": 2, "typo": 1}`))    // unknown field
+	f.Add([]byte(`{"n": 2, "axes": [""]}`)) // unknown axis
+	f.Add([]byte(`not json`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		spec, err := generate.ParseSpec(data)
+		if err != nil {
+			return
+		}
+		// Whatever parses must satisfy the documented invariants.
+		if err := spec.Validate(); err != nil {
+			t.Fatalf("ParseSpec returned invalid spec without error: %v", err)
+		}
+		if spec.N < 1 || spec.N > generate.MaxPoints {
+			t.Fatalf("ParseSpec accepted n=%d", spec.N)
+		}
+		if spec.Strength < 0 || spec.Strength > 1 {
+			t.Fatalf("ParseSpec accepted strength=%v", spec.Strength)
+		}
+		if spec.Fingerprint() == "" || spec.Fingerprint() != spec.Fingerprint() {
+			t.Fatal("unstable fingerprint")
+		}
+	})
+}
+
+// FuzzFeaturesLoad asserts LoadFeatures never panics and enforces the
+// embedding contract: anything it accepts has the exact dimension count,
+// a known version, and only finite components — so a damaged vector can
+// never skew a coverage analysis silently.
+func FuzzFeaturesLoad(f *testing.F) {
+	valid, err := generate.Features{
+		V:        generate.FeaturesVersion,
+		Workload: "fuzz/seed",
+		Vec:      make([]float64, generate.NumFeatures),
+	}.Encode()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])                              // truncated
+	f.Add([]byte(`{}`))                                      // empty
+	f.Add([]byte(`{"v": 99, "workload": "x", "vec": [0]}`))  // future version
+	f.Add([]byte(`{"v": 1, "workload": "x", "vec": [0.5]}`)) // wrong dims
+	f.Add([]byte(`{"v": 1, "vec": [1e308, 1e308]}`))         // huge components
+	f.Add([]byte(`not json`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		feats, err := generate.LoadFeatures(data)
+		if err != nil {
+			return
+		}
+		if feats.V < 1 || feats.V > generate.FeaturesVersion {
+			t.Fatalf("accepted version %d", feats.V)
+		}
+		if len(feats.Vec) != generate.NumFeatures {
+			t.Fatalf("accepted %d dimensions", len(feats.Vec))
+		}
+		for i, v := range feats.Vec {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("accepted non-finite component %d", i)
+			}
+		}
+		// An accepted vector is self-comparable under the metric.
+		if d := generate.Distance(feats, feats); d != 0 {
+			t.Fatalf("self-distance %v", d)
+		}
+	})
+}

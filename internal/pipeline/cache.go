@@ -54,9 +54,11 @@ type Key struct {
 // v3 partitions stream-profiled artifacts — profiles carry per-site
 // stride-stream descriptors and clones are synthesized from them, so
 // artifacts computed under the v2 single-class model must never be
-// served to a v3 pipeline).
+// served to a v3 pipeline; v4 adds the Generate stage, whose reports
+// embed whole-corpus coverage statistics keyed by a generation-spec
+// fingerprint carried in Workload).
 func (k Key) Canonical() string {
-	return fmt.Sprintf("v3|%d|%s|%s|%d|%d|%t|%s|%d|%d|%d|%d|%d|%s|%s",
+	return fmt.Sprintf("v4|%d|%s|%s|%d|%d|%t|%s|%d|%d|%d|%d|%d|%s|%s",
 		k.Stage, k.Workload, k.ISA, k.Level, k.Seed, k.Clone,
 		k.Cache.Name, k.Cache.Size, k.Cache.LineSize, k.Cache.Assoc,
 		k.TargetDyn, k.MaxInstrs, k.Src, k.Sim)
@@ -87,6 +89,8 @@ func (k Key) StoreKind() string {
 		return store.KindMarker
 	case StageSimulate:
 		return store.KindSim
+	case StageGenerate:
+		return store.KindGenerate
 	}
 	return ""
 }

@@ -87,6 +87,25 @@ var codecSim = &codec{
 	},
 }
 
+// codecGenerate persists workload-generation reports. The report is
+// produced and consumed as JSON (generate.Report marshals itself before
+// handing the bytes to GenerateArtifact), so the codec is a checked
+// passthrough rather than a typed round trip — the pipeline package never
+// needs to import the generate package it serves.
+var codecGenerate = &codec{
+	kind: store.KindGenerate,
+	encode: func(v any) ([]byte, error) {
+		b, ok := v.([]byte)
+		if !ok {
+			return nil, fmt.Errorf("pipeline: generate artifact is %T, want []byte", v)
+		}
+		return b, nil
+	},
+	decode: func(data []byte) (any, error) {
+		return data, nil
+	},
+}
+
 // codecMarker persists validation outcomes, which carry no data beyond
 // "this keyed check passed".
 var codecMarker = &codec{

@@ -13,9 +13,10 @@ import (
 // executable benchmark.
 type Stage int
 
-// Pipeline stages, in execution order. Simulate is last even though it
-// consumes Compile artifacts: it was added after Validate, and the order
-// is part of the CacheStats.Computed indexing contract.
+// Pipeline stages, in execution order. Later additions (Simulate, then
+// Generate) are appended after Validate regardless of where they sit in
+// the dataflow: the order is part of the CacheStats.Computed indexing
+// contract.
 const (
 	StageParse Stage = iota
 	StageCheck
@@ -24,10 +25,11 @@ const (
 	StageSynthesize
 	StageValidate
 	StageSimulate
+	StageGenerate
 )
 
 var stageNames = [...]string{
-	"parse", "check", "compile", "profile", "synthesize", "validate", "simulate",
+	"parse", "check", "compile", "profile", "synthesize", "validate", "simulate", "generate",
 }
 
 // NumStages is the number of pipeline stages; CacheStats.Computed is

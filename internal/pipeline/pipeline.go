@@ -92,6 +92,15 @@ func (p *Pipeline) Seed() int64 { return p.opts.Seed }
 // CacheStats reports artifact-cache hit/miss counts so far.
 func (p *Pipeline) CacheStats() CacheStats { return p.cache.stats() }
 
+// ProfilePoint returns the (ISA, level) compilation point profiling and
+// clone measurement run at.
+func (p *Pipeline) ProfilePoint() (*isa.Desc, compiler.OptLevel) {
+	return p.opts.ProfileISA, p.opts.ProfileLevel
+}
+
+// ProfileCacheConfig returns the profiling cache configuration.
+func (p *Pipeline) ProfileCacheConfig() cache.Config { return p.opts.ProfileCache }
+
 // Clone bundles every artifact of one synthesized benchmark.
 type Clone struct {
 	Prog    *hlc.Program
@@ -292,6 +301,35 @@ func (p *Pipeline) SynthesizeProfile(ctx context.Context, prof *profile.Profile)
 		return nil, err
 	}
 	return v.(*Clone), nil
+}
+
+// GenerateArtifact runs the Generate stage: it returns the cached
+// generation report stored under the given spec fingerprint, computing it
+// with the supplied function on a miss. The payload is opaque JSON —
+// the generate package owns the report schema — but the key carries every
+// pipeline option that shapes generated clones (profiling point, cache,
+// seed, synthesis bounds), so two pipelines sharing a store with
+// different options never exchange reports. Failed computations are not
+// cached.
+func (p *Pipeline) GenerateArtifact(ctx context.Context, fingerprint string, compute func(context.Context) ([]byte, error)) ([]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	key := Key{Stage: StageGenerate, Workload: "generate:" + fingerprint,
+		ISA: p.opts.ProfileISA.Name, Level: p.opts.ProfileLevel,
+		Seed: p.opts.Seed, Cache: p.opts.ProfileCache,
+		TargetDyn: p.opts.TargetDyn, MaxInstrs: p.opts.MaxInstrs}
+	v, err := p.cache.do(ctx, key, codecGenerate, func() (any, error) {
+		data, err := compute(ctx)
+		if err != nil {
+			return nil, p.fail(StageGenerate, fingerprint, err)
+		}
+		return data, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.([]byte), nil
 }
 
 // CompileClone compiles the workload's synthetic clone for one

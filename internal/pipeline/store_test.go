@@ -319,12 +319,15 @@ func TestPipelineKeyGoldenDigests(t *testing.T) {
 		want string
 	}{
 		{pipeline.Key{Stage: pipeline.StageCompile, Workload: "crc32/small",
-			ISA: "amd64v", Level: compiler.O2}, "ce9a97563ba69d3e"},
+			ISA: "amd64v", Level: compiler.O2}, "f5481d57fde88cf3"},
 		{pipeline.Key{Stage: pipeline.StageProfile, Workload: "crc32/small",
-			ISA: "amd64v", Level: compiler.O0, Cache: profCache}, "ca932b9135046bab"},
+			ISA: "amd64v", Level: compiler.O0, Cache: profCache}, "c9e06c41a2acfefc"},
 		{pipeline.Key{Stage: pipeline.StageSynthesize, Workload: "crc32/small",
 			ISA: "amd64v", Level: compiler.O0, Seed: 20100321, Clone: true,
-			Cache: profCache}, "3b7f7a9a511a446e"},
+			Cache: profCache}, "4a91a3dbf8d61151"},
+		{pipeline.Key{Stage: pipeline.StageGenerate, Workload: "generate:0123456789abcdef",
+			ISA: "amd64v", Level: compiler.O0, Seed: 20100321,
+			Cache: profCache}, "6a3371b4322ceead"},
 	}
 	for i, g := range golden {
 		if got := g.key.Digest(); got != g.want {

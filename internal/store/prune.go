@@ -17,6 +17,12 @@ type PruneOptions struct {
 	// MaxBytes evicts oldest entries until the store's payload files total
 	// at most MaxBytes (0 = no size limit).
 	MaxBytes int64
+	// WIPMaxAge evicts in-progress markers (the wip/ subtree) whose mtime
+	// is older than now−WIPMaxAge (0 = leave markers alone). Owners
+	// heartbeat their marker's mtime every few seconds while computing, so
+	// any marker past a generous multiple of the pipeline's heartbeat TTL
+	// is an orphan from a crashed process, not live work.
+	WIPMaxAge time.Duration
 	// DryRun reports what a real pass would remove without removing it.
 	DryRun bool
 }
@@ -30,6 +36,11 @@ type PruneStats struct {
 	// have been) and their total size.
 	Removed      int
 	RemovedBytes int64
+	// WIPScanned and WIPRemoved count the in-progress markers examined and
+	// the stale ones evicted (markers are counted separately from cache
+	// entries: they are not payload data and never count toward MaxBytes).
+	WIPScanned int
+	WIPRemoved int
 }
 
 // pruneEntry is one eviction candidate.
@@ -49,8 +60,17 @@ type pruneEntry struct {
 // refresh mtimes — so the policy is oldest-written-first, not LRU. Racing a
 // concurrent writer is safe: losing an entry is a cache miss by design, and
 // a remove that loses the race is ignored.
+//
+// When WIPMaxAge is set, Prune additionally sweeps the wip/ subtree of
+// in-progress markers: a marker whose heartbeat (mtime) stopped more than
+// WIPMaxAge ago belongs to a crashed owner and would otherwise accumulate
+// forever, since the pipeline only steals — never deletes — markers it is
+// not itself waiting on.
 func (s *Store) Prune(opts PruneOptions) (PruneStats, error) {
 	var stats PruneStats
+	if err := s.pruneWIP(opts, &stats); err != nil {
+		return stats, err
+	}
 	var entries []pruneEntry
 	shards, err := os.ReadDir(s.root)
 	if err != nil {
@@ -114,6 +134,42 @@ func (s *Store) Prune(opts PruneOptions) (PruneStats, error) {
 		remaining -= e.size
 	}
 	return stats, nil
+}
+
+// pruneWIP removes stale in-progress markers under wip/ per WIPMaxAge.
+func (s *Store) pruneWIP(opts PruneOptions, stats *PruneStats) error {
+	if opts.WIPMaxAge <= 0 {
+		return nil
+	}
+	dir := filepath.Join(s.root, WIPDir)
+	files, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil // no markers ever written
+		}
+		return fmt.Errorf("store: prune: %w", err)
+	}
+	cutoff := time.Now().Add(-opts.WIPMaxAge)
+	for _, f := range files {
+		if f.IsDir() || filepath.Ext(f.Name()) != ".json" {
+			continue
+		}
+		info, err := f.Info()
+		if err != nil {
+			continue // marker released under a concurrent prune
+		}
+		stats.WIPScanned++
+		if !info.ModTime().Before(cutoff) {
+			continue
+		}
+		if !opts.DryRun {
+			if err := os.Remove(filepath.Join(dir, f.Name())); err != nil && !os.IsNotExist(err) {
+				return fmt.Errorf("store: prune: %w", err)
+			}
+		}
+		stats.WIPRemoved++
+	}
+	return nil
 }
 
 // isShardName reports whether name is a two-hex-character shard directory.

@@ -139,6 +139,82 @@ func TestStorePruneSkipsTempAndQueue(t *testing.T) {
 	}
 }
 
+// TestStorePruneStaleWIPMarkers checks the wip/ sweep: markers past
+// WIPMaxAge (crashed owners — no heartbeat refreshing the mtime) are
+// removed, fresh markers and non-marker files survive, and without
+// WIPMaxAge the subtree is untouched. This is the regression test for
+// orphaned in-progress markers accumulating forever: the main prune pass
+// only scans two-hex shard directories, so wip/ was invisible to GC.
+func TestStorePruneStaleWIPMarkers(t *testing.T) {
+	s, _ := prunableStore(t, 2)
+	wip := filepath.Join(s.Root(), WIPDir)
+	if err := os.MkdirAll(wip, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	stale := filepath.Join(wip, "00000000deadbeef.json")
+	fresh := filepath.Join(wip, "00000000cafef00d.json")
+	other := filepath.Join(wip, "README.txt")
+	for _, p := range []string{stale, fresh, other} {
+		if err := os.WriteFile(p, []byte(`{}`), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	old := time.Now().Add(-48 * time.Hour)
+	for _, p := range []string{stale, other} {
+		if err := os.Chtimes(p, old, old); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Without WIPMaxAge, markers are untouched no matter how old.
+	stats, err := s.Prune(PruneOptions{MaxAge: 72 * time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.WIPScanned != 0 || stats.WIPRemoved != 0 {
+		t.Fatalf("wip swept without WIPMaxAge: %+v", stats)
+	}
+	if _, err := os.Stat(stale); err != nil {
+		t.Fatal("stale marker removed without WIPMaxAge")
+	}
+
+	// DryRun reports the stale marker without removing it.
+	stats, err = s.Prune(PruneOptions{WIPMaxAge: time.Hour, DryRun: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.WIPScanned != 2 || stats.WIPRemoved != 1 {
+		t.Fatalf("dry-run wip stats: %+v", stats)
+	}
+	if _, err := os.Stat(stale); err != nil {
+		t.Fatal("dry run removed the stale marker")
+	}
+
+	// The real pass removes exactly the stale marker.
+	stats, err = s.Prune(PruneOptions{WIPMaxAge: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.WIPScanned != 2 || stats.WIPRemoved != 1 {
+		t.Fatalf("wip stats: %+v", stats)
+	}
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Error("stale marker survived")
+	}
+	if _, err := os.Stat(fresh); err != nil {
+		t.Error("fresh marker removed")
+	}
+	if _, err := os.Stat(other); err != nil {
+		t.Error("non-marker file removed")
+	}
+	for i := 0; i < 2; i++ {
+		d := Fingerprint([]byte(fmt.Sprintf("entry-%d", i)))
+		if _, ok := s.Get(d, KindMarker, fmt.Sprintf("key-%d", i)); !ok {
+			t.Errorf("cache entry %d disturbed by wip sweep", i)
+		}
+	}
+}
+
 // TestStorePruneZeroOptions checks the zero PruneOptions removes nothing.
 func TestStorePruneZeroOptions(t *testing.T) {
 	s, _ := prunableStore(t, 3)

@@ -31,8 +31,9 @@ import (
 // simulation-config fingerprint to the pipeline's canonical keys; version
 // 3 moved profiling and synthesis to the per-site stride-stream model
 // (pipeline canonical keys v3), partitioning stream-keyed artifacts from
-// single-class ones.
-const SchemaVersion = 3
+// single-class ones; version 4 added the generation stage and its report
+// artifacts (pipeline canonical keys v4).
+const SchemaVersion = 4
 
 // Artifact kinds. An entry's kind must match the reader's expectation, so
 // a digest collision between two different artifact types reads as a miss.
@@ -42,6 +43,9 @@ const (
 	KindClone   = "clone"   // a synthesized clone (source + report + profile)
 	KindMarker  = "marker"  // a validation marker carrying no payload data
 	KindSim     = "sim"     // a timing-simulation summary (cpu.Summary)
+	// KindGenerate is a workload-generation report (generate.Report JSON):
+	// the requested-vs-achieved outcome of one directed generation run.
+	KindGenerate = "generate"
 )
 
 // Store is a content-addressed artifact store rooted at one directory.
