@@ -22,6 +22,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/isa"
 	"repro/internal/pipeline"
+	"repro/internal/telemetry"
 	"repro/internal/vm"
 	"repro/internal/workloads"
 )
@@ -72,6 +73,7 @@ func cmdBench(ctx context.Context, args []string, stdout, stderr io.Writer) erro
 	maxRegress := fs.Float64("max-regress", 0.20, "allowed fractional regression against the baseline")
 	workers := fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 	seed := fs.Int64("seed", experiments.CloneSeed, "clone synthesis seed")
+	trace := fs.String("trace", "", "write computed pipeline stages as a Chrome trace_event JSON file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -79,7 +81,16 @@ func cmdBench(ctx context.Context, args []string, stdout, stderr io.Writer) erro
 	if err != nil {
 		return err
 	}
-	rep, err := runBench(ctx, ws, *suite, *workers, *seed, stderr)
+	var tracer *telemetry.Tracer
+	if *trace != "" {
+		tracer = telemetry.NewTracer(traceSpanCapacity)
+		defer func() {
+			if err := exportTrace(tracer, *trace); err != nil {
+				fmt.Fprintf(stderr, "synth: trace: %v\n", err)
+			}
+		}()
+	}
+	rep, err := runBench(ctx, ws, *suite, *workers, *seed, tracer, stderr)
 	if err != nil {
 		return err
 	}
@@ -107,8 +118,8 @@ func cmdBench(ctx context.Context, args []string, stdout, stderr io.Writer) erro
 }
 
 // runBench executes the cold benchmark and builds the report.
-func runBench(ctx context.Context, ws []*workloads.Workload, suite string, workers int, seed int64, stderr io.Writer) (*benchReport, error) {
-	p := pipeline.New(pipeline.Options{Workers: workers, Seed: seed})
+func runBench(ctx context.Context, ws []*workloads.Workload, suite string, workers int, seed int64, tracer *telemetry.Tracer, stderr io.Writer) (*benchReport, error) {
+	p := pipeline.New(pipeline.Options{Workers: workers, Seed: seed, Tracer: tracer})
 	rep := &benchReport{
 		Schema:    benchSchema,
 		Suite:     suite,

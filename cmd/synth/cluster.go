@@ -168,19 +168,25 @@ func cmdWork(ctx context.Context, args []string, stdout, stderr io.Writer) error
 	}
 	var (
 		q   *cluster.Queue
+		rem *store.Remote
 		err error
 	)
 	switch {
 	case *remote != "" && *storeDir != "":
 		return fmt.Errorf("-store and -remote are mutually exclusive")
 	case *remote != "":
-		be, err := store.OpenRemote(*remote, *token)
-		if err != nil {
+		if rem, err = store.OpenRemote(*remote, *token); err != nil {
 			return err
 		}
-		if q, err = cluster.OpenQueue(be); err != nil {
+		if q, err = cluster.OpenQueue(rem); err != nil {
 			return err
 		}
+		// Every store round-trip is a wire request here; summarize the
+		// transport when the worker exits so flaky links are visible.
+		defer func() {
+			reqs, errs := rem.Stats().Total()
+			fmt.Fprintf(stderr, "synth work %s: remote store: %d round-trips, %d transport errors\n", *id, reqs, errs)
+		}()
 	default:
 		if q, err = openQueue(*storeDir); err != nil {
 			return err
@@ -283,6 +289,27 @@ type clusterStatus struct {
 	// Node is the serving process's embedded worker pool, when one is
 	// running: pool size, autoscaler bounds, and recent scaling decisions.
 	Node *cluster.SupervisorStatus `json:"node,omitempty"`
+	// Telemetry is the node's key telemetry snapshot — the same counters
+	// /metrics exposes, JSON-shaped so dashboards need not parse the
+	// Prometheus exposition. The pre-existing fields above keep their
+	// meaning and wire names.
+	Telemetry *nodeTelemetry `json:"telemetry,omitempty"`
+}
+
+// nodeTelemetry is the telemetry section of a cluster status response:
+// queue depth, the pool's busy/idle split, and job-lifecycle counts.
+type nodeTelemetry struct {
+	// QueueDepth is pending + leased: work not yet concluded.
+	QueueDepth int `json:"queue_depth"`
+	// WorkersBusy and WorkersIdle split the embedded pool (both 0 when the
+	// node runs no pool).
+	WorkersBusy int `json:"workers_busy"`
+	WorkersIdle int `json:"workers_idle"`
+	// JobsAcked counts every job this node concluded; JobsFailed the
+	// failed subset. Jobs is the full lifecycle counter set.
+	JobsAcked  uint64                  `json:"jobs_acked"`
+	JobsFailed uint64                  `json:"jobs_failed"`
+	Jobs       cluster.MetricsSnapshot `json:"jobs"`
 }
 
 // buildClusterStatus reads a queue's current shape. It returns nil (no

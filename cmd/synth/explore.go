@@ -42,6 +42,7 @@ func cmdExplore(ctx context.Context, args []string, stdout, stderr io.Writer) er
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	defer c.writeTrace(stderr)
 
 	sw, err := loadSweep(*specFile, *preset)
 	if err != nil {

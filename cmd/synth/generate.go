@@ -38,6 +38,7 @@ func cmdGenerate(ctx context.Context, args []string, stdout, stderr io.Writer) e
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	defer c.writeTrace(stderr)
 
 	spec, err := buildGenerateSpec(fs, &c, *specFile, *n, *suite, *name)
 	if err != nil {

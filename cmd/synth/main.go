@@ -41,6 +41,7 @@ import (
 	"repro/internal/pipeline"
 	"repro/internal/profile"
 	"repro/internal/store"
+	"repro/internal/telemetry"
 	"repro/internal/workloads"
 )
 
@@ -57,7 +58,20 @@ type commonFlags struct {
 	isaName  string
 	level    int
 	storeDir string
+	// tracePath is the -trace flag: where to write the pipeline span trace
+	// (empty = tracing off). metrics and tracer are the telemetry handles
+	// pipelineWith plumbs into the pipeline; commands that own a registry
+	// (serve) set metrics directly, and pipelineWith creates the tracer
+	// lazily from tracePath.
+	tracePath string
+	metrics   *telemetry.Registry
+	tracer    *telemetry.Tracer
 }
+
+// traceSpanCapacity bounds the -trace ring: a full-suite experiments run
+// is a few thousand stage computations; beyond that the oldest spans are
+// dropped (and reported).
+const traceSpanCapacity = 65536
 
 func addCommon(fs *flag.FlagSet, c *commonFlags) {
 	fs.IntVar(&c.workers, "workers", 0, "worker pool size (0 = GOMAXPROCS)")
@@ -65,6 +79,7 @@ func addCommon(fs *flag.FlagSet, c *commonFlags) {
 	fs.StringVar(&c.isaName, "isa", isa.AMD64.Name, "profiling target ISA (x86v, amd64v, ia64v)")
 	fs.IntVar(&c.level, "O", 0, "profiling optimization level (0-3)")
 	fs.StringVar(&c.storeDir, "store", "", "persistent artifact store directory (empty = memory-only)")
+	fs.StringVar(&c.tracePath, "trace", "", "write computed pipeline stages as a Chrome trace_event JSON file (load in chrome://tracing or ui.perfetto.dev)")
 }
 
 func (c *commonFlags) pipeline() (*pipeline.Pipeline, error) {
@@ -91,13 +106,48 @@ func (c *commonFlags) pipelineWith(st store.Backend) (*pipeline.Pipeline, error)
 	if c.level < 0 || c.level >= len(compiler.Levels) {
 		return nil, fmt.Errorf("optimization level -O%d out of range 0-%d", c.level, len(compiler.Levels)-1)
 	}
+	if c.tracePath != "" && c.tracer == nil {
+		c.tracer = telemetry.NewTracer(traceSpanCapacity)
+	}
 	return pipeline.New(pipeline.Options{
 		Workers:      c.workers,
 		Seed:         c.seed,
 		ProfileISA:   target,
 		ProfileLevel: compiler.Levels[c.level],
 		Store:        st,
+		Metrics:      c.metrics,
+		Tracer:       c.tracer,
 	}), nil
+}
+
+// writeTrace flushes the -trace span ring to its file. It runs deferred
+// after the command's work — including failed runs, which are exactly the
+// ones worth inspecting — and logs rather than fails: the command's own
+// result must win the exit code.
+func (c *commonFlags) writeTrace(stderr io.Writer) {
+	if c.tracer == nil || c.tracePath == "" {
+		return
+	}
+	if err := exportTrace(c.tracer, c.tracePath); err != nil {
+		fmt.Fprintf(stderr, "synth: trace: %v\n", err)
+		return
+	}
+	if n := c.tracer.Dropped(); n > 0 {
+		fmt.Fprintf(stderr, "synth: trace: ring full, oldest %d span(s) dropped from %s\n", n, c.tracePath)
+	}
+}
+
+// exportTrace writes one tracer's spans as Chrome trace JSON at path.
+func exportTrace(t *telemetry.Tracer, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.Export(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // printStats renders the artifact-cache statistics line. The format is
@@ -225,6 +275,7 @@ func cmdProfile(ctx context.Context, args []string, stdout, stderr io.Writer) er
 	if err != nil {
 		return err
 	}
+	defer c.writeTrace(stderr)
 	prof, err := p.Profile(ctx, w)
 	if err != nil {
 		return err
@@ -269,6 +320,7 @@ func cmdSynthesize(ctx context.Context, args []string, stdout, stderr io.Writer)
 	if err != nil {
 		return err
 	}
+	defer c.writeTrace(stderr)
 
 	var cl *pipeline.Clone
 	switch {
@@ -327,6 +379,7 @@ func cmdConsolidate(ctx context.Context, args []string, stdout, stderr io.Writer
 	if err != nil {
 		return err
 	}
+	defer c.writeTrace(stderr)
 	// Resolve every input first (cheap), then profile the workload-named
 	// ones on the pipeline's worker pool; Map preserves argument order, so
 	// the merge is deterministic.
@@ -481,6 +534,7 @@ func cmdExperiments(ctx context.Context, args []string, stdout, stderr io.Writer
 	if err != nil {
 		return err
 	}
+	defer c.writeTrace(stderr)
 	if err := renderExperiments(ctx, experiments.NewRunner(p), ws, selected, stdout); err != nil {
 		return err
 	}

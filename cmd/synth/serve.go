@@ -11,11 +11,11 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"sort"
 	"strconv"
 	"strings"
-	"sync"
 	"sync/atomic"
 	"time"
 
@@ -27,6 +27,8 @@ import (
 	"repro/internal/pipeline"
 	"repro/internal/profile"
 	"repro/internal/store"
+	"repro/internal/telemetry"
+	"repro/internal/vm"
 	"repro/internal/workloads"
 )
 
@@ -67,6 +69,15 @@ type serverOptions struct {
 	// sup, when non-nil, is the embedded worker pool whose status rides
 	// along on /api/v1/cluster/status.
 	sup *cluster.Supervisor
+	// metrics is the node's telemetry registry, exposed on GET /metrics
+	// (auth-exempt, like /healthz) and fed by the per-route HTTP
+	// middleware. newServer creates one when nil, so the endpoint always
+	// answers.
+	metrics *telemetry.Registry
+	// pprofEnabled mounts net/http/pprof under /debug/pprof/. Unlike
+	// /metrics the profiling endpoints sit behind auth: heap and CPU
+	// profiles leak far more than counters do.
+	pprofEnabled bool
 }
 
 // newServer wraps a pipeline for HTTP serving.
@@ -76,6 +87,9 @@ func newServer(p *pipeline.Pipeline, opts serverOptions) *server {
 	}
 	if opts.maxQueue < 0 {
 		opts.maxQueue = 0
+	}
+	if opts.metrics == nil {
+		opts.metrics = telemetry.NewRegistry()
 	}
 	return &server{
 		p:    p,
@@ -87,39 +101,93 @@ func newServer(p *pipeline.Pipeline, opts serverOptions) *server {
 
 // handler builds the service's route table: cheap introspection endpoints
 // are direct, expensive pipeline endpoints go through the admission
-// limiter, and the whole API sits behind the auth check.
+// limiter, every route is wrapped in the telemetry middleware, and the
+// whole API sits behind the auth check.
 func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/healthz", s.handleHealthz)
-	mux.HandleFunc("/api/v1/workloads", s.handleWorkloads)
-	mux.HandleFunc("/api/v1/profile", s.limited(s.handleProfile))
-	mux.HandleFunc("/api/v1/synthesize", s.limited(s.handleSynthesize))
-	mux.HandleFunc("/api/v1/consolidate", s.limited(s.handleConsolidate))
-	mux.HandleFunc("/api/v1/experiments", s.limited(s.handleExperiments))
-	mux.HandleFunc("/api/v1/explore", s.limited(s.handleExplore))
-	mux.HandleFunc("/api/v1/generate", s.limited(s.handleGenerate))
-	mux.HandleFunc("/api/v1/batch/synthesize", s.limited(s.handleBatchSynthesize))
-	mux.HandleFunc("/api/v1/cluster/status", s.handleClusterStatus)
-	mux.HandleFunc("/api/v1/stats", s.handleStats)
+	route := func(pattern string, h http.Handler) {
+		mux.Handle(pattern, s.instrumented(pattern, h))
+	}
+	route("/healthz", http.HandlerFunc(s.handleHealthz))
+	route("/metrics", http.HandlerFunc(s.handleMetrics))
+	route("/api/v1/workloads", http.HandlerFunc(s.handleWorkloads))
+	route("/api/v1/profile", s.limited(s.handleProfile))
+	route("/api/v1/synthesize", s.limited(s.handleSynthesize))
+	route("/api/v1/consolidate", s.limited(s.handleConsolidate))
+	route("/api/v1/experiments", s.limited(s.handleExperiments))
+	route("/api/v1/explore", s.limited(s.handleExplore))
+	route("/api/v1/generate", s.limited(s.handleGenerate))
+	route("/api/v1/batch/synthesize", s.limited(s.handleBatchSynthesize))
+	route("/api/v1/cluster/status", http.HandlerFunc(s.handleClusterStatus))
+	route("/api/v1/stats", http.HandlerFunc(s.handleStats))
 	if s.opts.storeBackend != nil {
 		// Store ops are cheap I/O, so they bypass the admission limiter —
 		// a busy pipeline must not starve the fabric's coordination traffic —
 		// but sit behind auth like every other /api/v1 route.
-		mux.Handle("/api/v1/store/", http.StripPrefix("/api/v1/store", store.NewHandler(s.opts.storeBackend)))
+		route("/api/v1/store/", http.StripPrefix("/api/v1/store", store.NewHandler(s.opts.storeBackend)))
+	}
+	if s.opts.pprofEnabled {
+		// The profiling endpoints stay auth-required and unmetered; pprof's
+		// own handlers manage their response lifecycle (streaming CPU
+		// profiles), so no middleware between them and the client.
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	}
 	return s.authenticated(mux)
 }
 
+// handleMetrics serves the registry in Prometheus text exposition format.
+// Like /healthz it is reachable without the bearer token: scrapers are
+// infrastructure, and the counters deliberately contain no payload data.
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.opts.metrics.WritePrometheus(w)
+}
+
+// statusRecorder captures the status code a handler writes, for the
+// middleware's status-class label. An unwritten status is the implicit 200.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// instrumented wraps one route in the telemetry middleware: request count
+// by status class, latency histogram, and a server-wide in-flight gauge.
+func (s *server) instrumented(routeName string, h http.Handler) http.Handler {
+	reg := s.opts.metrics
+	seconds := reg.Histogram("synth_http_request_seconds",
+		"HTTP request latency, by route.", telemetry.DefaultLatencyBuckets, "route", routeName)
+	inFlight := reg.Gauge("synth_http_in_flight", "HTTP requests currently executing.")
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		inFlight.Add(1)
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		h.ServeHTTP(rec, r)
+		inFlight.Add(-1)
+		seconds.ObserveSince(start)
+		reg.Counter("synth_http_requests_total", "HTTP requests served, by route and status class.",
+			"route", routeName, "class", fmt.Sprintf("%dxx", rec.status/100)).Inc()
+	})
+}
+
 // authenticated enforces the shared-secret token on every route except the
-// liveness probe. Comparison is constant-time; a missing or wrong token is
-// 401 with a WWW-Authenticate challenge.
+// liveness probe and the metrics scrape. Comparison is constant-time; a
+// missing or wrong token is 401 with a WWW-Authenticate challenge.
 func (s *server) authenticated(h http.Handler) http.Handler {
 	if s.opts.token == "" {
 		return h
 	}
 	want := []byte("Bearer " + s.opts.token)
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if r.URL.Path == "/healthz" {
+		if r.URL.Path == "/healthz" || r.URL.Path == "/metrics" {
 			h.ServeHTTP(w, r)
 			return
 		}
@@ -595,6 +663,16 @@ func (s *server) handleClusterStatus(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, "nothing dispatched (run \"synth dispatch -store ...\")")
 		return
 	}
+	nt := &nodeTelemetry{QueueDepth: st.Pending + st.Leased}
+	if s.opts.sup != nil {
+		snap := s.opts.sup.Metrics().Snapshot()
+		nt.WorkersBusy = st.Node.Busy
+		nt.WorkersIdle = st.Node.Workers - st.Node.Busy
+		nt.JobsAcked = snap.JobsOK + snap.JobsFailed
+		nt.JobsFailed = snap.JobsFailed
+		nt.Jobs = snap
+	}
+	st.Telemetry = nt
 	writeJSON(w, st)
 }
 
@@ -631,10 +709,15 @@ func cmdServe(ctx context.Context, args []string, stdout, stderr io.Writer) erro
 	poolMax := fs.Int("pool-max", 0, "embedded pool ceiling: autoscale up to this many workers draining the cluster queue (0 = no embedded pool)")
 	jobTimeout := fs.Duration("job-timeout", 0, "per-job execution bound for the embedded pool; an overrunning job is acked as failed (0 = unbounded)")
 	leaseTTL := fs.Duration("lease-ttl", cluster.DefaultLeaseTTL, "lease expiry the embedded pool enforces and heartbeats within (with -pool-max)")
+	pprofOn := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (requires the bearer token when one is set)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	opts := serverOptions{token: *token, maxInflight: *maxInflight, maxQueue: *maxQueue}
+	reg := telemetry.NewRegistry()
+	c.metrics = reg // the shared pipeline's stage metrics land in the node registry
+	opts := serverOptions{token: *token, maxInflight: *maxInflight, maxQueue: *maxQueue,
+		metrics: reg, pprofEnabled: *pprofOn}
+	registerVMMetrics(reg)
 	var (
 		p   *pipeline.Pipeline
 		err error
@@ -644,6 +727,7 @@ func cmdServe(ctx context.Context, args []string, stdout, stderr io.Writer) erro
 			return err
 		}
 		opts.storeBackend = opts.queue.Store()
+		cluster.RegisterQueueGauges(reg, opts.queue)
 		p, err = c.pipelineWith(opts.storeBackend)
 	} else {
 		p, err = c.pipeline()
@@ -651,6 +735,10 @@ func cmdServe(ctx context.Context, args []string, stdout, stderr io.Writer) erro
 	if err != nil {
 		return err
 	}
+	// Supervisor events from concurrent workers funnel through one writer
+	// goroutine, so log lines never interleave mid-record.
+	events := telemetry.NewSink(stderr, "synth serve: ")
+	defer events.Close()
 	var supDone chan error
 	if *poolMax > 0 {
 		if opts.queue == nil {
@@ -666,7 +754,8 @@ func cmdServe(ctx context.Context, args []string, stdout, stderr io.Writer) erro
 			TTL:             *leaseTTL,
 			JobTimeout:      *jobTimeout,
 			PipelineWorkers: c.workers,
-			OnEvent:         eventLogger(stderr),
+			OnEvent:         func(e cluster.Event) { events.Emit(e) },
+			Telemetry:       reg,
 		})
 		if err != nil {
 			return err
@@ -711,19 +800,15 @@ func cmdServe(ctx context.Context, args []string, stdout, stderr io.Writer) erro
 	return err
 }
 
-// eventLogger renders supervisor events as one JSON line each on w,
-// serialized so concurrent workers' events never interleave mid-line.
-func eventLogger(w io.Writer) func(cluster.Event) {
-	var mu sync.Mutex
-	return func(e cluster.Event) {
-		data, err := json.Marshal(e)
-		if err != nil {
-			return
-		}
-		mu.Lock()
-		defer mu.Unlock()
-		fmt.Fprintf(w, "synth serve: %s\n", data)
-	}
+// registerVMMetrics exposes the process-wide interpreter counters: total
+// dynamic instructions and a live MIPS gauge (the rate between scrapes).
+func registerVMMetrics(reg *telemetry.Registry) {
+	reg.CounterFunc("synth_vm_instrs_total",
+		"Dynamic instructions executed by every VM run in this process.", vm.ExecutedInstrs)
+	rate := telemetry.Rate(vm.ExecutedInstrs)
+	reg.GaugeFunc("synth_vm_mips",
+		"VM execution rate between scrapes, in millions of instructions per second.",
+		func() float64 { return rate() / 1e6 })
 }
 
 // storeDesc renders the store configuration for the startup log line.

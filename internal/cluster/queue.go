@@ -335,6 +335,27 @@ func (q *Queue) leases() (map[string]leaseInfo, error) {
 	return out, nil
 }
 
+// OldestLeaseAge returns how long ago the stalest held lease last
+// heartbeat (zero when no leases are held). It is the telemetry signal for
+// "a worker stopped heartbeating": a healthy pool keeps every lease age
+// well under the TTL.
+func (q *Queue) OldestLeaseAge() (time.Duration, error) {
+	leases, err := q.leases()
+	if err != nil {
+		return 0, err
+	}
+	var oldest time.Time
+	for _, l := range leases {
+		if oldest.IsZero() || l.mtime.Before(oldest) {
+			oldest = l.mtime
+		}
+	}
+	if oldest.IsZero() {
+		return 0, nil
+	}
+	return time.Since(oldest), nil
+}
+
 // Workers returns the worker IDs currently holding leases and how many
 // jobs each holds.
 func (q *Queue) Workers() (map[string]int, error) {

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/pipeline"
+	"repro/internal/telemetry"
 )
 
 // SupervisorOptions configures an embedded worker pool.
@@ -36,8 +37,13 @@ type SupervisorOptions struct {
 	// OnEvent, when non-nil, observes every supervisor event — scaling
 	// decisions, reclaims, job completions, shutdown — for structured
 	// logging. Called from supervisor goroutines; must be safe for
-	// concurrent use.
+	// concurrent use (telemetry.Sink gives a ready-made serialized writer).
 	OnEvent func(Event)
+	// Telemetry, when non-nil, receives the node's job-lifecycle metrics
+	// and pool gauges (synth_cluster_*), and is plumbed into every
+	// per-dispatch pipeline the pool builds so stage metrics land in the
+	// same registry.
+	Telemetry *telemetry.Registry
 
 	// exec, when non-nil, replaces real job execution (test hook; see
 	// Worker.exec).
@@ -119,8 +125,9 @@ const idleTicksBeforeShrink = 3
 // their leases back to pending, and Run returns only when every worker is
 // gone — a supervised node never abandons a leased job.
 type Supervisor struct {
-	q    *Queue
-	opts SupervisorOptions
+	q       *Queue
+	opts    SupervisorOptions
+	metrics *Metrics
 
 	mu        sync.Mutex
 	runCtx    context.Context // the Run context; mid-run spawns inherit it
@@ -175,13 +182,27 @@ func NewSupervisor(q *Queue, opts SupervisorOptions) (*Supervisor, error) {
 	if opts.Interval <= 0 {
 		opts.Interval = time.Second
 	}
-	return &Supervisor{
+	s := &Supervisor{
 		q:        q,
 		opts:     opts,
+		metrics:  NewMetrics(opts.Telemetry),
 		workers:  make(map[string]*supWorker),
 		panicked: make(map[string]bool),
 		pipes:    make(map[string]*pipeline.Pipeline),
-	}, nil
+	}
+	if opts.Telemetry != nil {
+		opts.Telemetry.GaugeFunc("synth_cluster_pool_workers",
+			"Current size of the embedded worker pool.", func() float64 {
+				s.mu.Lock()
+				defer s.mu.Unlock()
+				return float64(len(s.workers))
+			})
+		opts.Telemetry.GaugeFunc("synth_cluster_pool_busy",
+			"Pool workers currently executing a job.", func() float64 {
+				return float64(s.busy.Load())
+			})
+	}
+	return s, nil
 }
 
 // event emits e through OnEvent (never while holding the lock).
@@ -246,6 +267,7 @@ func (s *Supervisor) spawnLocked(ctx context.Context) string {
 func (s *Supervisor) tick() {
 	if n, err := s.q.Reclaim(s.opts.TTL); err == nil && n > 0 {
 		s.reclaimed.Add(int64(n))
+		s.metrics.Reclaimed(n)
 		s.event("reclaim", "", "", fmt.Sprintf("re-pended %d expired lease(s)", n))
 	}
 	c, err := s.q.Counts()
@@ -305,7 +327,7 @@ func (s *Supervisor) tick() {
 // context is canceled or the worker is retired. It never exits on queue
 // convergence — an embedded node idles, awaiting the next dispatch.
 func (s *Supervisor) workerLoop(ctx context.Context, sw *supWorker) {
-	w := &Worker{Queue: s.q, ID: sw.id, TTL: s.opts.TTL, exec: s.opts.exec}
+	w := &Worker{Queue: s.q, ID: sw.id, TTL: s.opts.TTL, Metrics: s.metrics, exec: s.opts.exec}
 	for {
 		select {
 		case <-ctx.Done():
@@ -315,6 +337,9 @@ func (s *Supervisor) workerLoop(ctx context.Context, sw *supWorker) {
 		default:
 		}
 		lease, err := s.q.Claim(sw.id)
+		if err == nil && lease != nil {
+			s.metrics.Claim()
+		}
 		if err != nil || lease == nil {
 			select {
 			case <-ctx.Done():
@@ -370,10 +395,12 @@ func (s *Supervisor) runOne(ctx context.Context, w *Worker, lease *Lease) {
 		// The job's own deadline expired: ack it as failed so the queue
 		// converges instead of retrying a hung job forever.
 		res.Err = fmt.Sprintf("job timeout after %s: %v", s.opts.JobTimeout, execErr)
+		s.metrics.Timeout()
 		s.event("job-timeout", w.ID, id, res.Err)
 	}
 	if panicked {
 		s.panics.Add(1)
+		s.metrics.Panic()
 		s.mu.Lock()
 		first := !s.panicked[id]
 		s.panicked[id] = true
@@ -429,6 +456,7 @@ func (s *Supervisor) pipelineFor(digest string) (*pipeline.Pipeline, error) {
 	}
 	opts.Workers = s.opts.PipelineWorkers
 	opts.Store = s.q.Store()
+	opts.Metrics = s.opts.Telemetry
 	p := pipeline.New(opts)
 
 	s.mu.Lock()
@@ -440,6 +468,10 @@ func (s *Supervisor) pipelineFor(digest string) (*pipeline.Pipeline, error) {
 	s.mu.Unlock()
 	return p, nil
 }
+
+// Metrics returns the supervisor's job-lifecycle metric handles, shared by
+// its pool workers; the status endpoint snapshots them.
+func (s *Supervisor) Metrics() *Metrics { return s.metrics }
 
 // Status returns a point-in-time snapshot for the status endpoint.
 func (s *Supervisor) Status() SupervisorStatus {

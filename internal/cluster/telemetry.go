@@ -1,0 +1,163 @@
+package cluster
+
+import (
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// jobSecondsBuckets spans job wall times: a warm job is milliseconds, a
+// cold explore shard tens of seconds.
+var jobSecondsBuckets = []float64{
+	0.01, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60, 120, 300,
+}
+
+// Metrics holds the cluster's job-lifecycle metric handles: claims, acks
+// (by result), ack retries, lease reclaims, panics, and timeouts, plus a
+// job duration histogram. Build one per registry with NewMetrics and share
+// it across the workers and supervisor of a node; all methods are no-ops
+// on a nil *Metrics, so unplumbed paths cost nothing.
+type Metrics struct {
+	claims     *telemetry.Counter
+	jobsOK     *telemetry.Counter
+	jobsFailed *telemetry.Counter
+	ackRetries *telemetry.Counter
+	reclaims   *telemetry.Counter
+	panics     *telemetry.Counter
+	timeouts   *telemetry.Counter
+	jobSeconds *telemetry.Histogram
+}
+
+// NewMetrics resolves the cluster metric handles in reg (nil reg yields
+// no-op handles).
+func NewMetrics(reg *telemetry.Registry) *Metrics {
+	return &Metrics{
+		claims: reg.Counter("synth_cluster_claims_total",
+			"Job leases claimed by this node's workers."),
+		jobsOK: reg.Counter("synth_cluster_jobs_total",
+			"Jobs acked by this node, by result.", "result", "ok"),
+		jobsFailed: reg.Counter("synth_cluster_jobs_total",
+			"Jobs acked by this node, by result.", "result", "failed"),
+		ackRetries: reg.Counter("synth_cluster_ack_retries_total",
+			"Failed ack attempts that were retried with backoff."),
+		reclaims: reg.Counter("synth_cluster_reclaims_total",
+			"Expired leases returned to pending by this node."),
+		panics: reg.Counter("synth_cluster_panics_total",
+			"Job executions that panicked (recovered)."),
+		timeouts: reg.Counter("synth_cluster_job_timeouts_total",
+			"Jobs acked as failed because they outran the job timeout."),
+		jobSeconds: reg.Histogram("synth_cluster_job_seconds",
+			"Wall time of acked jobs.", jobSecondsBuckets),
+	}
+}
+
+// Claim records one successful lease claim.
+func (m *Metrics) Claim() {
+	if m != nil {
+		m.claims.Inc()
+	}
+}
+
+// AckRetry records one failed ack attempt that will be retried.
+func (m *Metrics) AckRetry() {
+	if m != nil {
+		m.ackRetries.Inc()
+	}
+}
+
+// Acked records one acked job: its duration and result.
+func (m *Metrics) Acked(d time.Duration, failed bool) {
+	if m == nil {
+		return
+	}
+	if failed {
+		m.jobsFailed.Inc()
+	} else {
+		m.jobsOK.Inc()
+	}
+	m.jobSeconds.Observe(d.Seconds())
+}
+
+// Reclaimed records n expired leases returned to pending.
+func (m *Metrics) Reclaimed(n int) {
+	if m != nil && n > 0 {
+		m.reclaims.Add(uint64(n))
+	}
+}
+
+// Panic records one recovered job panic.
+func (m *Metrics) Panic() {
+	if m != nil {
+		m.panics.Inc()
+	}
+}
+
+// Timeout records one job acked as failed after outrunning its timeout.
+func (m *Metrics) Timeout() {
+	if m != nil {
+		m.timeouts.Inc()
+	}
+}
+
+// MetricsSnapshot is a point-in-time copy of a node's job-lifecycle
+// counters, JSON-shaped for the cluster status endpoint.
+type MetricsSnapshot struct {
+	Claims     uint64 `json:"claims"`
+	JobsOK     uint64 `json:"jobs_ok"`
+	JobsFailed uint64 `json:"jobs_failed"`
+	AckRetries uint64 `json:"ack_retries"`
+	Reclaims   uint64 `json:"reclaims"`
+	Panics     uint64 `json:"panics"`
+	Timeouts   uint64 `json:"timeouts"`
+}
+
+// Snapshot reads every counter once (all zeros on a nil or unregistered
+// *Metrics).
+func (m *Metrics) Snapshot() MetricsSnapshot {
+	if m == nil {
+		return MetricsSnapshot{}
+	}
+	return MetricsSnapshot{
+		Claims:     m.claims.Value(),
+		JobsOK:     m.jobsOK.Value(),
+		JobsFailed: m.jobsFailed.Value(),
+		AckRetries: m.ackRetries.Value(),
+		Reclaims:   m.reclaims.Value(),
+		Panics:     m.panics.Value(),
+		Timeouts:   m.timeouts.Value(),
+	}
+}
+
+// RegisterQueueGauges registers scrape-time gauges over q in reg: the
+// pending/leased/done depths and the oldest lease age. Reads hit the
+// queue's backing store at scrape time; a flaking store reads as zero
+// rather than failing the scrape.
+func RegisterQueueGauges(reg *telemetry.Registry, q *Queue) {
+	if reg == nil || q == nil {
+		return
+	}
+	depth := func(pick func(Counts) int) func() float64 {
+		return func() float64 {
+			c, err := q.Counts()
+			if err != nil {
+				return 0
+			}
+			return float64(pick(c))
+		}
+	}
+	reg.GaugeFunc("synth_cluster_queue_pending", "Jobs waiting to be claimed.",
+		depth(func(c Counts) int { return c.Pending }))
+	reg.GaugeFunc("synth_cluster_queue_leased", "Jobs currently leased to workers.",
+		depth(func(c Counts) int { return c.Leased }))
+	reg.GaugeFunc("synth_cluster_queue_done", "Jobs with recorded results.",
+		depth(func(c Counts) int { return c.Done }))
+	reg.GaugeFunc("synth_cluster_lease_age_seconds",
+		"Age of the stalest held lease (heartbeats reset it; 0 = none held).",
+		func() float64 {
+			age, err := q.OldestLeaseAge()
+			if err != nil {
+				return 0
+			}
+			return age.Seconds()
+		})
+}

@@ -1,0 +1,115 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// TestClusterTelemetryWorkerDrain drains a scripted queue through a
+// metered worker and asserts the job-lifecycle counters: claims, acks by
+// result, panics, and the duration histogram all move, and the exposition
+// carries them under the synth_cluster_* names.
+func TestClusterTelemetryWorkerDrain(t *testing.T) {
+	q := testQueue(t)
+	fakeJobs(t, q, 3)
+
+	reg := telemetry.NewRegistry()
+	w := &Worker{
+		Queue: q, ID: "metered", TTL: time.Hour, Poll: 5 * time.Millisecond,
+		Metrics: NewMetrics(reg),
+		exec: func(ctx context.Context, j Job) error {
+			if strings.HasSuffix(j.Workload, "job0") {
+				return fmt.Errorf("scripted failure")
+			}
+			return nil
+		},
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if _, err := w.Run(ctx); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatalf("scrape: %v", err)
+	}
+	out := b.String()
+	for _, line := range []string{
+		"synth_cluster_claims_total 3",
+		`synth_cluster_jobs_total{result="ok"} 2`,
+		`synth_cluster_jobs_total{result="failed"} 1`,
+		"synth_cluster_job_seconds_count 3",
+	} {
+		if !strings.Contains(out, line+"\n") {
+			t.Fatalf("scrape missing %q:\n%s", line, out)
+		}
+	}
+}
+
+// TestClusterTelemetrySupervisorPool runs a supervised drain with a
+// registry attached and asserts the pool gauges and lifecycle counters are
+// scrapable, including a panic and the queue-depth gauges over the drained
+// queue.
+func TestClusterTelemetrySupervisorPool(t *testing.T) {
+	q := testQueue(t)
+	fakeJobs(t, q, 2)
+
+	reg := telemetry.NewRegistry()
+	RegisterQueueGauges(reg, q)
+	panicked := false
+	sup, err := NewSupervisor(q, SupervisorOptions{
+		Node: "tele", Min: 1, Max: 2, TTL: time.Hour,
+		Poll: 5 * time.Millisecond, Interval: 10 * time.Millisecond,
+		Telemetry: reg,
+		exec: func(ctx context.Context, j Job) error {
+			if !panicked && strings.HasSuffix(j.Workload, "job0") {
+				panicked = true
+				panic("scripted panic")
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatalf("supervisor: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sup.Run(ctx)
+	}()
+	waitFor(t, 30*time.Second, "queue to converge", func() bool {
+		c, err := q.Counts()
+		return err == nil && c.Done == 2
+	})
+	cancel()
+	<-done
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatalf("scrape: %v", err)
+	}
+	out := b.String()
+	for _, line := range []string{
+		"synth_cluster_panics_total 1",
+		"synth_cluster_queue_done 2",
+		"synth_cluster_queue_pending 0",
+		"synth_cluster_pool_busy 0",
+	} {
+		if !strings.Contains(out, line+"\n") {
+			t.Fatalf("scrape missing %q:\n%s", line, out)
+		}
+	}
+	if !strings.Contains(out, "synth_cluster_jobs_total") ||
+		!strings.Contains(out, "synth_cluster_pool_workers") {
+		t.Fatalf("scrape missing cluster families:\n%s", out)
+	}
+	if age, err := q.OldestLeaseAge(); err != nil || age != 0 {
+		t.Fatalf("OldestLeaseAge on drained queue = %v, %v; want 0", age, err)
+	}
+}

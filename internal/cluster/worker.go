@@ -40,6 +40,9 @@ type Worker struct {
 	Poll time.Duration
 	// OnJob, when non-nil, observes every acked result (for CLI logging).
 	OnJob func(Result)
+	// Metrics, when non-nil, receives job-lifecycle telemetry (claims,
+	// acks, ack retries, reclaims, panics, job durations).
+	Metrics *Metrics
 
 	// exec, when non-nil, replaces the real job execution — a test hook
 	// so supervisor and chaos tests can script job behavior (block, fail,
@@ -118,6 +121,7 @@ func (w *Worker) Run(ctx context.Context) (Summary, error) {
 			if n, err := w.Queue.Reclaim(ttl); err != nil {
 				return sum, err
 			} else if n > 0 {
+				w.Metrics.Reclaimed(n)
 				continue // recovered jobs are pending again: go claim
 			}
 			c, err := w.Queue.Counts()
@@ -151,6 +155,7 @@ func (w *Worker) Run(ctx context.Context) (Summary, error) {
 			continue
 		}
 		stalledSince = time.Time{}
+		w.Metrics.Claim()
 		if w.Dispatch != "" && lease.Job.Dispatch != w.Dispatch {
 			lease.Release()
 			return sum, fmt.Errorf("cluster: queue was re-dispatched (job %s belongs to dispatch %s, this worker was built for %s); restart the worker",
@@ -167,6 +172,7 @@ func (w *Worker) Run(ctx context.Context) (Summary, error) {
 		}
 		if panicked {
 			sum.Panics++
+			w.Metrics.Panic()
 			if id := lease.Job.ID(); !panickedJobs[id] {
 				// First panic of this job: the lease must not leak until
 				// TTL expiry. Release it for an immediate retry — by us or
@@ -209,8 +215,10 @@ func (w *Worker) ack(lease *Lease, res Result) error {
 	delay := ackBackoff
 	for attempt := 0; attempt < ackAttempts; attempt++ {
 		if err = lease.Ack(res); err == nil {
+			w.Metrics.Acked(time.Duration(res.Millis)*time.Millisecond, res.Err != "")
 			return nil
 		}
+		w.Metrics.AckRetry()
 		time.Sleep(delay)
 		delay *= 2
 	}

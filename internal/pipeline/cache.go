@@ -175,10 +175,14 @@ type artifactCache struct {
 	diskHits   atomic.Uint64
 	diskErrors atomic.Uint64
 	computed   [NumStages]atomic.Uint64
+	// tm mirrors the atomics above into the telemetry registry (and traces
+	// computations); every increment site updates both, so /metrics always
+	// agrees with CacheStats.
+	tm *cacheTelemetry
 }
 
-func newArtifactCache(disk store.Backend) *artifactCache {
-	return &artifactCache{m: make(map[Key]*entry), disk: disk}
+func newArtifactCache(disk store.Backend, tm *cacheTelemetry) *artifactCache {
+	return &artifactCache{m: make(map[Key]*entry), disk: disk, tm: tm}
 }
 
 func (c *artifactCache) stats() CacheStats {
@@ -210,6 +214,7 @@ func (c *artifactCache) fromDisk(k Key, cd *codec) (any, bool) {
 	v, err := cd.decode(payload)
 	if err != nil {
 		c.diskErrors.Add(1)
+		c.tm.diskErrors.Inc()
 		return nil, false
 	}
 	return v, true
@@ -227,6 +232,7 @@ func (c *artifactCache) toDisk(k Key, cd *codec, v any) {
 	}
 	if err != nil {
 		c.diskErrors.Add(1)
+		c.tm.diskErrors.Inc()
 	}
 }
 
@@ -237,12 +243,17 @@ func (c *artifactCache) toDisk(k Key, cd *codec, v any) {
 // computation whose owner got canceled retry under their own context
 // instead of inheriting the cancellation — the pipeline is shared, and one
 // run's cancel must not fail an unrelated run's jobs.
-func (c *artifactCache) do(ctx context.Context, k Key, cd *codec, fn func() (any, error)) (any, error) {
+//
+// fn receives the context to run under: when tracing is enabled this is
+// the computation's span context, so nested stage calls made inside fn
+// parent their spans under this artifact's span.
+func (c *artifactCache) do(ctx context.Context, k Key, cd *codec, fn func(context.Context) (any, error)) (any, error) {
 	for {
 		c.mu.Lock()
 		if e, ok := c.m[k]; ok {
 			c.mu.Unlock()
 			c.hits.Add(1)
+			c.tm.hits.Inc()
 			select {
 			case <-e.ready:
 				if e.err != nil && (errors.Is(e.err, context.Canceled) || errors.Is(e.err, context.DeadlineExceeded)) {
@@ -262,6 +273,7 @@ func (c *artifactCache) do(ctx context.Context, k Key, cd *codec, fn func() (any
 
 		if v, ok := c.fromDisk(k, cd); ok {
 			c.diskHits.Add(1)
+			c.tm.diskHits.Inc()
 			e.val = v
 			close(e.ready)
 			return v, nil
@@ -273,7 +285,7 @@ func (c *artifactCache) do(ctx context.Context, k Key, cd *codec, fn func() (any
 			// duplicate it. computeGated writes the artifact through itself.
 			e.val, e.err = c.computeGated(ctx, k, cd, fn)
 		} else {
-			e.val, e.err = c.compute(k, fn)
+			e.val, e.err = c.compute(ctx, k, fn)
 		}
 		if e.err != nil {
 			c.mu.Lock()
@@ -285,13 +297,35 @@ func (c *artifactCache) do(ctx context.Context, k Key, cd *codec, fn func() (any
 	}
 }
 
-// compute runs fn, counting it as an actual artifact computation.
-func (c *artifactCache) compute(k Key, fn func() (any, error)) (any, error) {
+// compute runs fn, counting it as an actual artifact computation, timing
+// it into the stage duration histogram, and wrapping it in a span named
+// after the stage so nested stage calls trace as children.
+func (c *artifactCache) compute(ctx context.Context, k Key, fn func(context.Context) (any, error)) (any, error) {
 	c.misses.Add(1)
-	if int(k.Stage) < len(c.computed) {
+	c.tm.misses.Inc()
+	inRange := int(k.Stage) < len(c.computed)
+	if inRange {
 		c.computed[k.Stage].Add(1)
+		c.tm.computed[k.Stage].Inc()
 	}
-	return fn()
+	ctx, span := c.tm.tracer.Start(ctx, k.Stage.String())
+	span.SetAttr("workload", k.Workload)
+	if k.ISA != "" {
+		span.SetAttr("isa", k.ISA)
+	}
+	if k.Clone {
+		span.SetAttr("clone", "true")
+	}
+	start := time.Now()
+	v, err := fn(ctx)
+	if inRange {
+		c.tm.seconds[k.Stage].ObserveSince(start)
+	}
+	if err != nil {
+		span.SetAttr("error", err.Error())
+	}
+	span.End()
+	return v, err
 }
 
 // The in-progress marker timings. A process that vanishes mid-computation
@@ -317,7 +351,7 @@ func wipName(k Key) string {
 // hit. A stale marker (no heartbeat for wipTTL) is stolen, and any marker
 // operation failing for other reasons degrades to an uncoordinated compute:
 // the gate is a dedup optimization, never a correctness gate.
-func (c *artifactCache) computeGated(ctx context.Context, k Key, cd *codec, fn func() (any, error)) (any, error) {
+func (c *artifactCache) computeGated(ctx context.Context, k Key, cd *codec, fn func(context.Context) (any, error)) (any, error) {
 	marker := wipName(k)
 	retried := false
 	for {
@@ -332,16 +366,19 @@ func (c *artifactCache) computeGated(ctx context.Context, k Key, cd *codec, fn f
 				if v, ok := c.fromDisk(k, cd); ok {
 					c.disk.Remove(marker)
 					c.diskHits.Add(1)
+					c.tm.diskHits.Inc()
+					c.tm.wipAdopted.Inc()
 					return v, nil
 				}
 			}
-			return c.computeOwned(k, cd, marker, fn)
+			return c.computeOwned(ctx, k, cd, marker, fn)
 		}
 		if !errors.Is(err, fs.ErrExist) {
 			// Store flake on the marker path: fall back to computing without
 			// coordination rather than blocking the pipeline.
 			c.diskErrors.Add(1)
-			v, ferr := c.compute(k, fn)
+			c.tm.diskErrors.Inc()
+			v, ferr := c.compute(ctx, k, fn)
 			if ferr == nil {
 				c.toDisk(k, cd, v)
 			}
@@ -356,6 +393,8 @@ func (c *artifactCache) computeGated(ctx context.Context, k Key, cd *codec, fn f
 		}
 		if v, ok := c.fromDisk(k, cd); ok {
 			c.diskHits.Add(1)
+			c.tm.diskHits.Inc()
+			c.tm.wipAdopted.Inc()
 			return v, nil
 		}
 		if fi, serr := c.disk.Stat(marker); serr == nil {
@@ -374,7 +413,7 @@ func (c *artifactCache) computeGated(ctx context.Context, k Key, cd *codec, fn f
 // artifact is written through before the marker is released, so a waiter
 // that observes the marker disappear without an artifact knows the owner
 // failed.
-func (c *artifactCache) computeOwned(k Key, cd *codec, marker string, fn func() (any, error)) (any, error) {
+func (c *artifactCache) computeOwned(ctx context.Context, k Key, cd *codec, marker string, fn func(context.Context) (any, error)) (any, error) {
 	stop := make(chan struct{})
 	done := make(chan struct{})
 	go func() {
@@ -390,7 +429,7 @@ func (c *artifactCache) computeOwned(k Key, cd *codec, marker string, fn func() 
 			}
 		}
 	}()
-	v, err := c.compute(k, fn)
+	v, err := c.compute(ctx, k, fn)
 	if err == nil {
 		c.toDisk(k, cd, v)
 	}

@@ -26,6 +26,7 @@ import (
 	"repro/internal/isa"
 	"repro/internal/profile"
 	"repro/internal/store"
+	"repro/internal/telemetry"
 	"repro/internal/vm"
 	"repro/internal/workloads"
 )
@@ -57,6 +58,16 @@ type Options struct {
 	// the pre-store behavior). Callers holding a concrete backend pointer
 	// must take care not to store a typed nil here; pass a literal nil.
 	Store store.Backend
+	// Metrics, when non-nil, receives the pipeline's cache and per-stage
+	// metrics (synth_pipeline_*). The counters mirror CacheStats increment
+	// for increment, so a /metrics scrape always matches the printed stats.
+	// Nil disables metric recording at zero cost.
+	Metrics *telemetry.Registry
+	// Tracer, when non-nil, records one span per artifact computation,
+	// named after the stage and nested along the stage dataflow (a cold
+	// synthesize span contains profile, compile, check, and parse spans).
+	// Nil disables tracing at zero cost.
+	Tracer *telemetry.Tracer
 }
 
 // Pipeline executes framework stages with caching and bounded parallelism.
@@ -80,7 +91,8 @@ func New(opts Options) *Pipeline {
 	if opts.ProfileCache == (cache.Config{}) {
 		opts.ProfileCache = profile.DefaultCache
 	}
-	return &Pipeline{opts: opts, cache: newArtifactCache(opts.Store)}
+	return &Pipeline{opts: opts,
+		cache: newArtifactCache(opts.Store, newCacheTelemetry(opts.Metrics, opts.Tracer))}
 }
 
 // Workers returns the fan-out bound.
@@ -127,7 +139,7 @@ func (p *Pipeline) Parse(ctx context.Context, w *workloads.Workload) (*hlc.Progr
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	v, err := p.cache.do(ctx, Key{Stage: StageParse, Workload: w.Name}, nil, func() (any, error) {
+	v, err := p.cache.do(ctx, Key{Stage: StageParse, Workload: w.Name}, nil, func(context.Context) (any, error) {
 		prog, err := hlc.Parse(w.Source)
 		if err != nil {
 			return nil, p.fail(StageParse, w.Name, err)
@@ -145,7 +157,7 @@ func (p *Pipeline) Check(ctx context.Context, w *workloads.Workload) (*hlc.Check
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	v, err := p.cache.do(ctx, Key{Stage: StageCheck, Workload: w.Name}, nil, func() (any, error) {
+	v, err := p.cache.do(ctx, Key{Stage: StageCheck, Workload: w.Name}, nil, func(ctx context.Context) (any, error) {
 		prog, err := p.Parse(ctx, w)
 		if err != nil {
 			return nil, err
@@ -170,7 +182,7 @@ func (p *Pipeline) Compile(ctx context.Context, w *workloads.Workload, target *i
 	}
 	key := Key{Stage: StageCompile, Workload: w.Name, ISA: target.Name, Level: level,
 		Src: srcID(w)}
-	v, err := p.cache.do(ctx, key, codecProgram, func() (any, error) {
+	v, err := p.cache.do(ctx, key, codecProgram, func(ctx context.Context) (any, error) {
 		cp, err := p.Check(ctx, w)
 		if err != nil {
 			return nil, err
@@ -197,7 +209,7 @@ func (p *Pipeline) Profile(ctx context.Context, w *workloads.Workload) (*profile
 	key := Key{Stage: StageProfile, Workload: w.Name, ISA: p.opts.ProfileISA.Name,
 		Level: p.opts.ProfileLevel, Cache: p.opts.ProfileCache,
 		MaxInstrs: p.opts.MaxInstrs, Src: srcID(w)}
-	v, err := p.cache.do(ctx, key, codecProfile, func() (any, error) {
+	v, err := p.cache.do(ctx, key, codecProfile, func(ctx context.Context) (any, error) {
 		prog, err := p.Compile(ctx, w, p.opts.ProfileISA, p.opts.ProfileLevel)
 		if err != nil {
 			return nil, err
@@ -234,7 +246,7 @@ func (p *Pipeline) Synthesize(ctx context.Context, w *workloads.Workload) (*Clon
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	v, err := p.cache.do(ctx, p.cloneKey(StageSynthesize, w), codecClone, func() (any, error) {
+	v, err := p.cache.do(ctx, p.cloneKey(StageSynthesize, w), codecClone, func(ctx context.Context) (any, error) {
 		prof, err := p.Profile(ctx, w)
 		if err != nil {
 			return nil, err
@@ -294,7 +306,7 @@ func (p *Pipeline) SynthesizeProfile(ctx context.Context, prof *profile.Profile)
 	key := p.cloneKey(StageSynthesize, &workloads.Workload{
 		Name: "profile:" + store.Fingerprint(payload),
 	})
-	v, err := p.cache.do(ctx, key, codecClone, func() (any, error) {
+	v, err := p.cache.do(ctx, key, codecClone, func(context.Context) (any, error) {
 		return p.synthesizeClone(prof, prof.Workload)
 	})
 	if err != nil {
@@ -319,7 +331,7 @@ func (p *Pipeline) GenerateArtifact(ctx context.Context, fingerprint string, com
 		ISA: p.opts.ProfileISA.Name, Level: p.opts.ProfileLevel,
 		Seed: p.opts.Seed, Cache: p.opts.ProfileCache,
 		TargetDyn: p.opts.TargetDyn, MaxInstrs: p.opts.MaxInstrs}
-	v, err := p.cache.do(ctx, key, codecGenerate, func() (any, error) {
+	v, err := p.cache.do(ctx, key, codecGenerate, func(ctx context.Context) (any, error) {
 		data, err := compute(ctx)
 		if err != nil {
 			return nil, p.fail(StageGenerate, fingerprint, err)
@@ -340,7 +352,7 @@ func (p *Pipeline) CompileClone(ctx context.Context, w *workloads.Workload, targ
 	}
 	key := p.cloneKey(StageCompile, w)
 	key.ISA, key.Level = target.Name, level
-	v, err := p.cache.do(ctx, key, codecProgram, func() (any, error) {
+	v, err := p.cache.do(ctx, key, codecProgram, func(ctx context.Context) (any, error) {
 		cl, err := p.Synthesize(ctx, w)
 		if err != nil {
 			return nil, err
@@ -368,7 +380,7 @@ func (p *Pipeline) Validate(ctx context.Context, w *workloads.Workload) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	_, err := p.cache.do(ctx, p.cloneKey(StageValidate, w), codecMarker, func() (any, error) {
+	_, err := p.cache.do(ctx, p.cloneKey(StageValidate, w), codecMarker, func(ctx context.Context) (any, error) {
 		prog, err := p.CompileClone(ctx, w, p.opts.ProfileISA, p.opts.ProfileLevel)
 		if err != nil {
 			return nil, err

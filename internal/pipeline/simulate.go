@@ -52,7 +52,7 @@ func (p *Pipeline) Simulate(ctx context.Context, w *workloads.Workload, target *
 			ISA: target.Name, Level: level, Clone: clone, Err: err}
 	}
 	key := p.simKey(w, target, level, cfg, clone, maxInstrs)
-	v, err := p.cache.do(ctx, key, codecSim, func() (any, error) {
+	v, err := p.cache.do(ctx, key, codecSim, func(ctx context.Context) (any, error) {
 		var (
 			prog *isa.Program
 			err  error

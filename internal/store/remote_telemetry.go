@@ -1,0 +1,121 @@
+package store
+
+import (
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// remoteOps are the wire operations a Remote performs, in exposition
+// order. "file_get"/"file_put" split the coordination-file route by
+// method; everything else maps one route to one op.
+var remoteOps = []string{
+	"create", "file_get", "file_put", "get", "has", "list",
+	"put", "remove", "rename", "stat", "touch",
+}
+
+// remoteOpStats counts one operation's requests and errors. The counters
+// are always on — they are two atomic adds per round-trip — so `synth
+// work -remote` can print a transport summary even without a registry.
+type remoteOpStats struct {
+	requests atomic.Uint64
+	errors   atomic.Uint64
+}
+
+// RemoteStats is a point-in-time snapshot of a Remote's per-operation
+// round-trip counts. Expected protocol outcomes (404 miss, 409 exists) are
+// requests, not errors; errors are transport failures and unexpected
+// statuses.
+type RemoteStats struct {
+	// Requests and Errors map operation name (get, put, touch, ...) to
+	// counts; operations never performed are omitted.
+	Requests map[string]uint64
+	Errors   map[string]uint64
+}
+
+// Total returns the summed request and error counts across operations.
+func (s RemoteStats) Total() (requests, errors uint64) {
+	for _, n := range s.Requests {
+		requests += n
+	}
+	for _, n := range s.Errors {
+		errors += n
+	}
+	return
+}
+
+// newRemoteOpStats builds the fixed per-operation counter map.
+func newRemoteOpStats() map[string]*remoteOpStats {
+	m := make(map[string]*remoteOpStats, len(remoteOps))
+	for _, op := range remoteOps {
+		m[op] = &remoteOpStats{}
+	}
+	return m
+}
+
+// opName maps one request's (method, route) to its operation name.
+func opName(method, route string) string {
+	if route == "file" {
+		if method == "PUT" {
+			return "file_put"
+		}
+		return "file_get"
+	}
+	return route
+}
+
+// record counts one round-trip (and optionally its failure) and feeds the
+// latency histogram when the Remote is instrumented.
+func (r *Remote) record(op string, start time.Time, failed bool) {
+	if s, ok := r.ops[op]; ok {
+		s.requests.Add(1)
+		if failed {
+			s.errors.Add(1)
+		}
+	}
+	if h := r.latency.Load(); h != nil {
+		h.ObserveSince(start)
+	}
+}
+
+// Stats returns a snapshot of the per-operation round-trip counts so far.
+func (r *Remote) Stats() RemoteStats {
+	st := RemoteStats{Requests: make(map[string]uint64), Errors: make(map[string]uint64)}
+	for op, s := range r.ops {
+		if n := s.requests.Load(); n > 0 {
+			st.Requests[op] = n
+		}
+		if n := s.errors.Load(); n > 0 {
+			st.Errors[op] = n
+		}
+	}
+	return st
+}
+
+// Instrument exposes the Remote's round-trip counters in reg
+// (synth_store_remote_requests_total / synth_store_remote_errors_total,
+// labeled by op) and attaches a request latency histogram
+// (synth_store_remote_seconds). Safe to call at most once per Remote;
+// no-op on a nil registry.
+func (r *Remote) Instrument(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	ops := make([]string, 0, len(r.ops))
+	for op := range r.ops {
+		ops = append(ops, op)
+	}
+	sort.Strings(ops)
+	for _, op := range ops {
+		s := r.ops[op]
+		reg.CounterFunc("synth_store_remote_requests_total",
+			"Remote store round-trips, by operation.", s.requests.Load, "op", op)
+		reg.CounterFunc("synth_store_remote_errors_total",
+			"Remote store round-trips that failed (transport or unexpected status), by operation.",
+			s.errors.Load, "op", op)
+	}
+	r.latency.Store(reg.Histogram("synth_store_remote_seconds",
+		"Remote store round-trip latency.", telemetry.DefaultLatencyBuckets))
+}

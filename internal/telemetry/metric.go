@@ -1,0 +1,188 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing uint64 metric. All methods are
+// atomic and no-ops on a nil receiver, so disabled instrumentation costs a
+// single nil check.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one to the counter.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n to the counter.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count (0 on a nil counter).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a float64 metric that can go up and down, stored as IEEE-754
+// bits in an atomic word. All methods are atomic and no-ops on a nil
+// receiver.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Add adds delta to the gauge (negative deltas decrease it).
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge value (0 on a nil gauge).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram is a fixed-bucket histogram: cumulative-on-export per-bucket
+// counts, a running sum, and a total count, all updated atomically.
+// Observations route to the first bucket whose upper bound is >= the
+// value; values beyond the last bound land in the implicit +Inf bucket.
+// All methods are no-ops on a nil receiver.
+type Histogram struct {
+	bounds []float64       // upper bounds, strictly increasing, no +Inf
+	counts []atomic.Uint64 // len(bounds)+1; last is the +Inf bucket
+	sum    atomic.Uint64   // float64 bits, CAS-added
+	count  atomic.Uint64
+}
+
+// newHistogram builds a histogram over the given upper bounds.
+func newHistogram(bounds []float64) *Histogram {
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	return &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+}
+
+// DefaultLatencyBuckets is a general-purpose latency layout in seconds,
+// spanning 1ms to 60s: wide enough for an HTTP route and a cold compile
+// stage alike.
+var DefaultLatencyBuckets = []float64{
+	0.001, 0.005, 0.01, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60,
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// ObserveSince records the seconds elapsed since start.
+func (h *Histogram) ObserveSince(start time.Time) {
+	if h != nil {
+		h.Observe(time.Since(start).Seconds())
+	}
+}
+
+// Count returns the number of observations (0 on a nil histogram).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observed values (0 on a nil histogram).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// write renders the histogram's exposition lines (cumulative _bucket
+// series, then _sum and _count).
+func (h *Histogram) write(w io.Writer, name, ls string) {
+	var cum uint64
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		le := `le="` + strconv.FormatFloat(b, 'g', -1, 64) + `"`
+		fmt.Fprintf(w, "%s %d\n", seriesName(name+"_bucket", ls, le), cum)
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	fmt.Fprintf(w, "%s %d\n", seriesName(name+"_bucket", ls, `le="+Inf"`), cum)
+	fmt.Fprintf(w, "%s %s\n", seriesName(name+"_sum", ls, ""), formatFloat(h.Sum()))
+	fmt.Fprintf(w, "%s %d\n", seriesName(name+"_count", ls, ""), h.Count())
+}
+
+// Rate converts a monotone counter read into a per-second rate sampler:
+// each call returns the counter delta divided by the seconds since the
+// previous call (0 on the first call). Wrap the result in GaugeFunc for a
+// live rate gauge such as MIPS. The returned func is safe for concurrent
+// use.
+func Rate(fn func() uint64) func() float64 {
+	var mu sync.Mutex
+	var lastV uint64
+	var lastT time.Time
+	return func() float64 {
+		mu.Lock()
+		defer mu.Unlock()
+		now := time.Now()
+		v := fn()
+		if lastT.IsZero() {
+			lastV, lastT = v, now
+			return 0
+		}
+		dt := now.Sub(lastT).Seconds()
+		if dt <= 0 {
+			return 0
+		}
+		r := float64(v-lastV) / dt
+		lastV, lastT = v, now
+		return r
+	}
+}

@@ -1,0 +1,77 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// syncBuffer guards a bytes.Buffer so the test can read what the drain
+// goroutine wrote; the Sink itself must never interleave writes.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// TestTelemetrySinkSerializes hammers one sink from many goroutines and
+// asserts every output line is a complete, parseable JSON object — the
+// single-writer guarantee the supervisor event stream relies on. Run under
+// -race this also pins the emit/close locking.
+func TestTelemetrySinkSerializes(t *testing.T) {
+	var buf syncBuffer
+	s := NewSink(&buf, "event: ")
+	const emitters, each = 8, 200
+	var wg sync.WaitGroup
+	for i := 0; i < emitters; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for j := 0; j < each; j++ {
+				s.Emit(map[string]int{"emitter": id, "seq": j})
+			}
+		}(i)
+	}
+	wg.Wait()
+	s.Close()
+	s.Close() // idempotent
+	s.Emit("after close is dropped, not a panic")
+
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != emitters*each {
+		t.Fatalf("got %d lines, want %d", len(lines), emitters*each)
+	}
+	seen := make(map[int]int)
+	for _, line := range lines {
+		rest, ok := strings.CutPrefix(line, "event: ")
+		if !ok {
+			t.Fatalf("line missing prefix: %q", line)
+		}
+		var ev struct {
+			Emitter int `json:"emitter"`
+			Seq     int `json:"seq"`
+		}
+		if err := json.Unmarshal([]byte(rest), &ev); err != nil {
+			t.Fatalf("interleaved or truncated line %q: %v", line, err)
+		}
+		seen[ev.Emitter]++
+	}
+	for i := 0; i < emitters; i++ {
+		if seen[i] != each {
+			t.Fatalf("emitter %d has %d lines, want %d", i, seen[i], each)
+		}
+	}
+}

@@ -1,0 +1,210 @@
+package telemetry
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// spanCtxKey is the context key under which the active span is carried.
+type spanCtxKey struct{}
+
+// Tracer records spans into a bounded ring buffer and exports them as
+// Chrome trace_event JSON (load chrome://tracing or https://ui.perfetto.dev
+// on the output). Spans nest through context propagation: Start returns a
+// context carrying the new span, and any span started under that context
+// becomes its child. Safe for concurrent use; all methods are no-ops on a
+// nil *Tracer, and Start on a nil tracer returns the context unchanged
+// with a nil (no-op) span — disabled tracing is allocation-free.
+type Tracer struct {
+	mu      sync.Mutex
+	spans   []spanRecord
+	next    int  // ring cursor
+	wrapped bool // ring has overwritten at least one span
+	cap     int
+	dropped atomic.Uint64
+	ids     atomic.Uint64
+	epoch   time.Time
+}
+
+// spanRecord is one finished span as kept in the ring.
+type spanRecord struct {
+	name  string
+	tid   uint64 // root span id of this span's tree — Chrome "thread"
+	start time.Time
+	dur   time.Duration
+	attrs []spanAttr
+}
+
+// spanAttr is one key/value attribute attached to a span.
+type spanAttr struct {
+	key string
+	val string
+}
+
+// Span is one in-flight trace region. End it exactly once; SetAttr before
+// End. All methods are no-ops on a nil *Span.
+type Span struct {
+	tracer *Tracer
+	name   string
+	id     uint64
+	tid    uint64
+	start  time.Time
+	mu     sync.Mutex
+	attrs  []spanAttr
+	ended  bool
+}
+
+// NewTracer returns a tracer that retains the most recent capacity spans
+// (older spans are overwritten and counted as dropped). Capacity must be
+// positive.
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	return &Tracer{cap: capacity, epoch: time.Now()}
+}
+
+// SpanFromContext returns the span carried by ctx, or nil if none.
+func SpanFromContext(ctx context.Context) *Span {
+	s, _ := ctx.Value(spanCtxKey{}).(*Span)
+	return s
+}
+
+// Start begins a span named name, parented under any span already carried
+// by ctx, and returns a derived context carrying the new span. On a nil
+// tracer it returns ctx unchanged and a nil span, so instrumented code
+// needs no enabled/disabled branches.
+func (t *Tracer) Start(ctx context.Context, name string) (context.Context, *Span) {
+	if t == nil {
+		return ctx, nil
+	}
+	s := &Span{tracer: t, name: name, id: t.ids.Add(1), start: time.Now()}
+	if parent := SpanFromContext(ctx); parent != nil && parent.tracer == t {
+		s.tid = parent.tid
+	} else {
+		s.tid = s.id
+	}
+	return context.WithValue(ctx, spanCtxKey{}, s), s
+}
+
+// SetAttr attaches a string attribute to the span, shown in the trace
+// viewer's args pane.
+func (s *Span) SetAttr(key, val string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if !s.ended {
+		s.attrs = append(s.attrs, spanAttr{key, val})
+	}
+	s.mu.Unlock()
+}
+
+// End finishes the span and commits it to the tracer's ring. Calling End
+// more than once records the span only once.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return
+	}
+	s.ended = true
+	rec := spanRecord{name: s.name, tid: s.tid, start: s.start,
+		dur: time.Since(s.start), attrs: s.attrs}
+	s.mu.Unlock()
+	t := s.tracer
+	t.mu.Lock()
+	if len(t.spans) < t.cap {
+		t.spans = append(t.spans, rec)
+	} else {
+		t.spans[t.next] = rec
+		t.wrapped = true
+		t.dropped.Add(1)
+	}
+	t.next = (t.next + 1) % t.cap
+	t.mu.Unlock()
+}
+
+// Dropped returns how many spans were overwritten because the ring was
+// full (0 on a nil tracer).
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.dropped.Load()
+}
+
+// Len returns how many spans the ring currently holds (0 on a nil
+// tracer).
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.spans)
+}
+
+// traceEvent is one Chrome trace_event JSON object.
+type traceEvent struct {
+	Name string            `json:"name"`
+	Ph   string            `json:"ph"`
+	Ts   float64           `json:"ts"`  // microseconds
+	Dur  float64           `json:"dur"` // microseconds
+	Pid  int               `json:"pid"`
+	Tid  uint64            `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// traceFile is the top-level Chrome trace JSON object.
+type traceFile struct {
+	TraceEvents []traceEvent `json:"traceEvents"`
+}
+
+// Export writes every retained span as Chrome trace_event JSON ("X"
+// complete events; ts/dur in microseconds relative to the tracer's
+// creation). A span's tid is the id of the root span of its tree, so a
+// nested stage DAG renders as stacked rows per top-level operation.
+// Nil tracers write an empty trace.
+func (t *Tracer) Export(w io.Writer) error {
+	f := traceFile{TraceEvents: []traceEvent{}}
+	if t != nil {
+		t.mu.Lock()
+		recs := make([]spanRecord, 0, len(t.spans))
+		// Ring order: oldest first.
+		if t.wrapped {
+			recs = append(recs, t.spans[t.next:]...)
+			recs = append(recs, t.spans[:t.next]...)
+		} else {
+			recs = append(recs, t.spans...)
+		}
+		epoch := t.epoch
+		t.mu.Unlock()
+		for _, r := range recs {
+			ev := traceEvent{
+				Name: r.name,
+				Ph:   "X",
+				Ts:   float64(r.start.Sub(epoch).Nanoseconds()) / 1e3,
+				Dur:  float64(r.dur.Nanoseconds()) / 1e3,
+				Pid:  1,
+				Tid:  r.tid,
+			}
+			if len(r.attrs) > 0 {
+				ev.Args = make(map[string]string, len(r.attrs))
+				for _, a := range r.attrs {
+					ev.Args[a.key] = a.val
+				}
+			}
+			f.TraceEvents = append(f.TraceEvents, ev)
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(f)
+}

@@ -1,0 +1,122 @@
+package telemetry
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// decodeTrace parses an exported trace back into its event list.
+func decodeTrace(t *testing.T, s string) []traceEvent {
+	t.Helper()
+	var f traceFile
+	if err := json.Unmarshal([]byte(s), &f); err != nil {
+		t.Fatalf("trace is not valid JSON: %v\n%s", err, s)
+	}
+	return f.TraceEvents
+}
+
+// TestTelemetryTracerNesting pins context-propagated parenting: children
+// share the root span's tid and sit inside the parent's [ts, ts+dur]
+// window, which is exactly what the Chrome viewer uses to stack them.
+func TestTelemetryTracerNesting(t *testing.T) {
+	tr := NewTracer(16)
+	ctx := context.Background()
+	ctx1, root := tr.Start(ctx, "synthesize")
+	root.SetAttr("workload", "bitcount")
+	ctx2, mid := tr.Start(ctx1, "profile")
+	_, leaf := tr.Start(ctx2, "compile")
+	leaf.End()
+	mid.End()
+	root.End()
+	_, other := tr.Start(ctx, "parse") // separate tree
+	other.End()
+
+	var b strings.Builder
+	if err := tr.Export(&b); err != nil {
+		t.Fatalf("Export: %v", err)
+	}
+	evs := decodeTrace(t, b.String())
+	if len(evs) != 4 {
+		t.Fatalf("got %d events, want 4", len(evs))
+	}
+	byName := map[string]traceEvent{}
+	for _, e := range evs {
+		if e.Ph != "X" {
+			t.Fatalf("event %q has phase %q, want X", e.Name, e.Ph)
+		}
+		byName[e.Name] = e
+	}
+	rootEv, midEv, leafEv := byName["synthesize"], byName["profile"], byName["compile"]
+	if rootEv.Tid != midEv.Tid || midEv.Tid != leafEv.Tid {
+		t.Fatalf("span tree split across tids: %d %d %d", rootEv.Tid, midEv.Tid, leafEv.Tid)
+	}
+	if byName["parse"].Tid == rootEv.Tid {
+		t.Fatalf("independent tree shares the root's tid")
+	}
+	within := func(inner, outer traceEvent) bool {
+		return inner.Ts >= outer.Ts && inner.Ts+inner.Dur <= outer.Ts+outer.Dur
+	}
+	if !within(midEv, rootEv) || !within(leafEv, midEv) {
+		t.Fatalf("child spans not contained in parents:\nroot=%+v\nmid=%+v\nleaf=%+v",
+			rootEv, midEv, leafEv)
+	}
+	if rootEv.Args["workload"] != "bitcount" {
+		t.Fatalf("attrs not exported: %+v", rootEv.Args)
+	}
+}
+
+// TestTelemetryTracerRing pins the bounded-ring contract: the most recent
+// spans survive, older ones are dropped and counted.
+func TestTelemetryTracerRing(t *testing.T) {
+	tr := NewTracer(3)
+	ctx := context.Background()
+	for _, name := range []string{"a", "b", "c", "d", "e"} {
+		_, s := tr.Start(ctx, name)
+		s.End()
+	}
+	if tr.Len() != 3 {
+		t.Fatalf("ring holds %d spans, want 3", tr.Len())
+	}
+	if tr.Dropped() != 2 {
+		t.Fatalf("dropped = %d, want 2", tr.Dropped())
+	}
+	var b strings.Builder
+	if err := tr.Export(&b); err != nil {
+		t.Fatalf("Export: %v", err)
+	}
+	evs := decodeTrace(t, b.String())
+	var names []string
+	for _, e := range evs {
+		names = append(names, e.Name)
+	}
+	if got := strings.Join(names, ""); got != "cde" {
+		t.Fatalf("ring export order = %q, want oldest-first cde", got)
+	}
+}
+
+// TestTelemetryTracerDoubleEnd pins that a span committed twice records
+// only once.
+func TestTelemetryTracerDoubleEnd(t *testing.T) {
+	tr := NewTracer(8)
+	_, s := tr.Start(context.Background(), "once")
+	s.End()
+	s.End()
+	if tr.Len() != 1 {
+		t.Fatalf("double End recorded %d spans, want 1", tr.Len())
+	}
+}
+
+// TestTelemetryTracerNilExport pins that a nil tracer exports an empty but
+// well-formed trace.
+func TestTelemetryTracerNilExport(t *testing.T) {
+	var tr *Tracer
+	var b strings.Builder
+	if err := tr.Export(&b); err != nil {
+		t.Fatalf("Export: %v", err)
+	}
+	if evs := decodeTrace(t, b.String()); len(evs) != 0 {
+		t.Fatalf("nil tracer exported %d events", len(evs))
+	}
+}

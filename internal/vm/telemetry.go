@@ -1,0 +1,15 @@
+package vm
+
+import "sync/atomic"
+
+// executedInstrs accumulates the dynamic instruction count of every Run in
+// the process, across all VMs and both dispatch paths. The vm package does
+// not depend on telemetry; callers expose ExecutedInstrs through a
+// CounterFunc (and a rate gauge for live MIPS).
+var executedInstrs atomic.Uint64
+
+// ExecutedInstrs returns the total dynamic instructions executed by every
+// VM Run in this process since start. It is monotone and safe for
+// concurrent use; the serve and bench paths derive a live MIPS gauge from
+// its rate of change.
+func ExecutedInstrs() uint64 { return executedInstrs.Load() }

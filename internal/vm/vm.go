@@ -203,8 +203,15 @@ func (vm *VM) Run(cfg Config) (Result, error) {
 	if entry.NumParams != 0 {
 		return Result{OutputHash: fnvOffset}, fmt.Errorf("vm: entry function %s takes parameters", entry.Name)
 	}
+	var res Result
+	var err error
 	if cfg.Hook == nil {
-		return vm.runFast(limit, maxOutput, maxDepth)
+		res, err = vm.runFast(limit, maxOutput, maxDepth)
+	} else {
+		res, err = vm.runHooked(cfg.Hook, limit, maxOutput, maxDepth)
 	}
-	return vm.runHooked(cfg.Hook, limit, maxOutput, maxDepth)
+	// One atomic add per Run, not per instruction: the process-wide
+	// telemetry counter must not slow the dispatch loop.
+	executedInstrs.Add(res.DynInstrs)
+	return res, err
 }
