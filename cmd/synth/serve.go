@@ -9,6 +9,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -45,6 +46,10 @@ type server struct {
 	r    *experiments.Runner
 	opts serverOptions
 	lim  *limiter
+	// jobSeconds records the wall-clock duration of every admitted
+	// expensive-endpoint request; its running mean prices the Retry-After
+	// hint shed clients receive.
+	jobSeconds *telemetry.Histogram
 }
 
 // serverOptions configures the HTTP layer around the shared pipeline.
@@ -96,6 +101,9 @@ func newServer(p *pipeline.Pipeline, opts serverOptions) *server {
 		r:    experiments.NewRunner(p),
 		opts: opts,
 		lim:  newLimiter(opts.maxInflight, opts.maxQueue),
+		jobSeconds: opts.metrics.Histogram("synth_job_seconds",
+			"Wall-clock seconds of admitted expensive-endpoint jobs.",
+			telemetry.DefaultLatencyBuckets),
 	}
 }
 
@@ -242,21 +250,50 @@ func (l *limiter) acquire(ctx context.Context) bool {
 // release returns an execution slot.
 func (l *limiter) release() { <-l.slots }
 
-// limited wraps an expensive handler in the admission limiter.
+// limited wraps an expensive handler in the admission limiter. Shed
+// requests carry a Retry-After hint derived from the observed mean job
+// duration and the current backlog, instead of a flat "1" that makes
+// clients hammer a queue that drains in minutes.
 func (s *server) limited(h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		if !s.lim.acquire(r.Context()) {
 			if r.Context().Err() != nil {
 				return // client gone; nothing useful to write
 			}
-			w.Header().Set("Retry-After", "1")
+			avg := 0.0
+			if n := s.jobSeconds.Count(); n > 0 {
+				avg = s.jobSeconds.Sum() / float64(n)
+			}
+			ra := retryAfterSeconds(avg, int(s.lim.queued.Load()), cap(s.lim.slots))
+			w.Header().Set("Retry-After", strconv.Itoa(ra))
 			httpError(w, http.StatusTooManyRequests, "request queue full (%d executing, %d queued); retry later",
 				cap(s.lim.slots), s.lim.maxQueue)
 			return
 		}
-		defer s.lim.release()
+		start := time.Now()
+		defer func() {
+			s.jobSeconds.ObserveSince(start)
+			s.lim.release()
+		}()
 		h(w, r)
 	}
+}
+
+// retryAfterSeconds estimates how long a shed client should wait before
+// retrying: the backlog ahead of it (everything queued plus the slot it
+// still needs) divided across the execution slots, priced at the mean
+// observed job duration. With no job history the estimate is one second,
+// and the result is clamped to [1, 60] so a few pathological jobs never
+// push clients into effectively-never retry loops.
+func retryAfterSeconds(avgJobSeconds float64, queued, slots int) int {
+	if slots < 1 {
+		slots = 1
+	}
+	if avgJobSeconds <= 0 {
+		return 1
+	}
+	est := int(math.Ceil(avgJobSeconds * float64(queued+1) / float64(slots)))
+	return min(max(est, 1), 60)
 }
 
 // httpError renders an error as a JSON body with the given status.

@@ -523,3 +523,62 @@ func drainRun(t *testing.T, args ...string) string {
 	}
 	return out.String()
 }
+
+// TestRetryAfterSeconds pins the backlog-pricing rule behind the 429
+// Retry-After hint.
+func TestRetryAfterSeconds(t *testing.T) {
+	cases := []struct {
+		avg           float64
+		queued, slots int
+		want          int
+	}{
+		{0, 5, 2, 1},     // no job history yet: immediate retry
+		{2.0, 0, 1, 2},   // just the draining slot ahead
+		{2.0, 3, 2, 4},   // ceil(2s * 4 ahead / 2 slots)
+		{0.01, 1, 4, 1},  // fast jobs clamp up to a whole second
+		{600, 10, 2, 60}, // pathological jobs clamp at a minute
+		{1.5, 0, 0, 2},   // a zero-slot limiter prices as one slot
+	}
+	for _, c := range cases {
+		if got := retryAfterSeconds(c.avg, c.queued, c.slots); got != c.want {
+			t.Errorf("retryAfterSeconds(%v, %d, %d) = %d, want %d",
+				c.avg, c.queued, c.slots, got, c.want)
+		}
+	}
+}
+
+// TestServeRetryAfterTracksJobDuration checks the shed path end to end:
+// once the server has observed real job durations, a 429's Retry-After
+// prices the current backlog with their mean instead of a flat "1".
+func TestServeRetryAfterTracksJobDuration(t *testing.T) {
+	p := pipeline.New(pipeline.Options{Workers: 2, Seed: 1})
+	s := newServer(p, serverOptions{maxInflight: 1, maxQueue: 1})
+	h := s.handler()
+	s.jobSeconds.Observe(10)
+	s.jobSeconds.Observe(10)
+
+	if !s.lim.acquire(context.Background()) {
+		t.Fatal("could not take the execution slot")
+	}
+	queued := make(chan bool)
+	go func() { queued <- s.lim.acquire(context.Background()) }()
+	for s.lim.queued.Load() == 0 {
+	}
+
+	req := httptest.NewRequest("GET", "/api/v1/synthesize?workload=crc32/small", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("saturated server answered %d: %s", rec.Code, rec.Body.String())
+	}
+	// One queued request plus the needed slot, priced at 10s over 1 slot.
+	if got := rec.Header().Get("Retry-After"); got != "20" {
+		t.Errorf("Retry-After = %q, want \"20\"", got)
+	}
+
+	s.lim.release()
+	if !<-queued {
+		t.Fatal("queued waiter was shed")
+	}
+	s.lim.release()
+}

@@ -60,14 +60,17 @@ type line struct {
 }
 
 // Cache is a set-associative LRU cache model. It tracks presence only (no
-// data), which is all the framework needs.
+// data), which is all the framework needs. Stats counts load accesses
+// only; stores fill lines like any access but accumulate in StoreStats, so
+// the load hit rates reports quote are not diluted by store fills.
 type Cache struct {
-	cfg      Config
-	sets     [][]line
-	setShift uint
-	setMask  uint64
-	tick     uint64
-	Stats    Stats
+	cfg        Config
+	sets       [][]line
+	setShift   uint
+	setMask    uint64
+	tick       uint64
+	Stats      Stats
+	StoreStats Stats
 }
 
 // New builds a cache; it panics on invalid geometry (configs are
@@ -102,10 +105,22 @@ func log2(v int) int {
 func (c *Cache) Config() Config { return c.cfg }
 
 // Access touches addr, returns whether it hit, and updates LRU state,
-// filling the line on a miss.
+// filling the line on a miss. The access counts into Stats (the load-side
+// statistics).
 func (c *Cache) Access(addr uint64) bool {
+	return c.access(addr, &c.Stats)
+}
+
+// AccessStore touches addr on behalf of a store: identical line fill and
+// LRU behavior, but the access counts into StoreStats so store traffic
+// cannot skew the load hit rates.
+func (c *Cache) AccessStore(addr uint64) bool {
+	return c.access(addr, &c.StoreStats)
+}
+
+func (c *Cache) access(addr uint64, st *Stats) bool {
 	c.tick++
-	c.Stats.Accesses++
+	st.Accesses++
 	set := (addr >> c.setShift) & c.setMask
 	tag := addr >> c.setShift
 	lines := c.sets[set]
@@ -115,7 +130,7 @@ func (c *Cache) Access(addr uint64) bool {
 			return true
 		}
 	}
-	c.Stats.Misses++
+	st.Misses++
 	victim := 0
 	for i := range lines {
 		if !lines[i].valid {
@@ -139,6 +154,7 @@ func (c *Cache) Reset() {
 	}
 	c.tick = 0
 	c.Stats = Stats{}
+	c.StoreStats = Stats{}
 }
 
 // MultiSim evaluates many cache configurations in a single pass over the
@@ -192,6 +208,21 @@ func (h *Hierarchy) AccessLatency(addr uint64) int {
 		return h.L1Lat
 	}
 	if h.L2.Access(addr) {
+		return h.L2Lat
+	}
+	return h.MemLat
+}
+
+// StoreLatency is AccessLatency for the store side: lines fill and LRU
+// state updates exactly as for a load at the same address, but the
+// accesses count into each level's StoreStats, keeping the reported load
+// hit rates honest. The returned latency is how long the store occupies
+// its store-queue entry before the written line is globally visible.
+func (h *Hierarchy) StoreLatency(addr uint64) int {
+	if h.L1.AccessStore(addr) {
+		return h.L1Lat
+	}
+	if h.L2.AccessStore(addr) {
 		return h.L2Lat
 	}
 	return h.MemLat

@@ -35,8 +35,10 @@ import (
 // different version are rejected, so mixed-binary fleets fail loudly
 // instead of corrupting each other's queues. Version 2 added exploration
 // dispatches (Spec.Explore, Job.Kind/Sims); version 3 added generation
-// dispatches (Spec.Generate, Job.GenIndex).
-const SchemaVersion = 3
+// dispatches (Spec.Generate, Job.GenIndex); version 4 cut over to the
+// store-queue timing model and its v5 artifact keys, so mixed fleets
+// can't blend pre- and post-forwarding cycle counts in one queue.
+const SchemaVersion = 4
 
 // Spec declares one dispatch: which workloads to synthesize, over which
 // (ISA, level) grid, and the pipeline options that shape the artifacts.

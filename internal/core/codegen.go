@@ -44,7 +44,9 @@ type generator struct {
 	hardBranches map[*sfgl.BranchInfo]int
 	sharedArena  [2]bool // shared short-walker arena declared (int, float)
 	compBrUsed   bool    // the compensation loop allocated its entropy state
+	aluChainUsed bool    // the compensation loop published its ALU-chain sink
 	fpDivThird   bool    // FP compensation mixes divides into its chains
+	fpAccs       int     // loop-carried FP accumulator globals allocated
 
 	// missScale is Synthesize's miss-rate feedback knob: walker strides
 	// and chase working sets are derived from site miss rates multiplied
@@ -168,9 +170,16 @@ func (gen *generator) program(items []item) *hlc.Program {
 		}
 	}
 	prog.Globals = append(prog.Globals, gen.walkerDecls()...)
+	for i := 0; i < gen.fpAccs; i++ {
+		prog.Globals = append(prog.Globals,
+			&hlc.VarDecl{Name: fpAccName(i), Type: hlc.TypeFloat})
+	}
 	prog.Globals = append(prog.Globals, gen.hardBranchDecls()...)
 	if gen.compBrUsed {
 		prog.Globals = append(prog.Globals, &hlc.VarDecl{Name: "hbc", Type: hlc.TypeInt})
+	}
+	if gen.aluChainUsed {
+		prog.Globals = append(prog.Globals, &hlc.VarDecl{Name: "uax", Type: hlc.TypeInt})
 	}
 	if gen.guardUsed {
 		prog.Globals = append(prog.Globals,
@@ -207,6 +216,14 @@ func (gen *generator) program(items []item) *hlc.Program {
 			mainStmts = append(mainStmts, &hlc.PrintStmt{Args: []hlc.Expr{
 				&hlc.IndexExpr{Name: w.dataName(), Idx: intLit(0)}}})
 		}
+	}
+	for i := 0; i < gen.fpAccs; i++ {
+		mainStmts = append(mainStmts, &hlc.PrintStmt{Args: []hlc.Expr{
+			&hlc.VarRef{Name: fpAccName(i)}}})
+	}
+	if gen.aluChainUsed {
+		mainStmts = append(mainStmts, &hlc.PrintStmt{Args: []hlc.Expr{
+			&hlc.VarRef{Name: "uax"}}})
 	}
 	prog.Funcs = append(prog.Funcs, &hlc.FuncDecl{
 		Name: "main", Ret: hlc.TypeVoid, Body: &hlc.Block{Stmts: mainStmts},
@@ -388,10 +405,14 @@ func (gen *generator) mixCompensationFunc() *hlc.FuncDecl {
 	// from collapsing the loads at higher optimization levels. The first
 	// nFloat statements are float multiply-add chains over the clone's
 	// float sources — FP compensation riding the same loop.
+	// termsPerStmt loads feed each slot; subTerms of them go into each
+	// C-sized sub-statement (the flush granularity of the local chains).
 	const termsPerStmt = 8
+	const subTerms = 1
+	const iter = "mcomp"
 	var body []hlc.Stmt
 	var emitted, emittedF []memRef
-	var loadsPerIter, instrsPerIter, fpPerIter float64
+	var loadsPerIter, instrsPerIter, fpPerIter, storesPerIter float64
 	// Scalar references rotate through a pool of four per statement:
 	// at -O0 every occurrence is its own reload (like the stack traffic
 	// it models), and at higher levels CSE registerizes the repeats —
@@ -403,50 +424,102 @@ func (gen *generator) mixCompensationFunc() *hlc.FuncDecl {
 		return raw % maxRefSlots
 	}
 	for s := 0; s < compSlots; s++ {
-		pool := srcs
-		isFloat := s < nFloat
-		if isFloat {
-			pool = fsrcs
-		}
-		dst := pool[s%len(pool)]
-		first := pool[(s+1)%len(pool)]
-		rhs := hlc.Expr(gen.srcWalk(first, slotOf(first, s), isFloat))
-		l, in := refCost(first)
-		loadsPerIter, instrsPerIter = loadsPerIter+l, instrsPerIter+in
-		for t := 1; t < termsPerStmt; t++ {
-			term := pool[(s+1+t)%len(pool)]
-			op := hlc.Plus
-			if isFloat && t%2 == 1 {
-				op = hlc.Star
-				if gen.fpDivThird && t%4 == 1 {
-					// FP-divide-heavy profiles chain a 24-cycle divide into
-					// the statement's dependence spine (IEEE: a zero
-					// divisor yields Inf, never a trap).
-					op = hlc.Slash
-				}
+		if s < nFloat {
+			// Float slots are loop-carried accumulator chains: a local
+			// scalar accumulates the statement's FP-op mixture, so each
+			// iteration's chain starts from the previous iteration's
+			// result. The accumulator is a function local on purpose: at
+			// -O0 it lives in a stack slot and the recurrence serializes
+			// through the timing model's store-to-load forwarding, while
+			// mem2reg at -O1+ turns it into a register chain — the same
+			// O0-to-O1 transition the original's locals go through.
+			acc := &hlc.VarRef{Name: fpAccLocal(s)}
+			if s+1 > gen.fpAccs {
+				gen.fpAccs = s + 1
 			}
-			rhs = &hlc.BinaryExpr{Op: op, X: rhs,
-				Y: gen.srcWalk(term, slotOf(term, s+t), isFloat)}
-			l, in = refCost(term)
-			loadsPerIter, instrsPerIter = loadsPerIter+l, instrsPerIter+in+1
-			if isFloat {
+			rhs := hlc.Expr(acc)
+			loadsPerIter, instrsPerIter = loadsPerIter+1, instrsPerIter+1.2
+			for t := 1; t < termsPerStmt; t++ {
+				term := fsrcs[(s+1+t)%len(fsrcs)]
+				op := hlc.Plus
+				if t%2 == 1 {
+					op = hlc.Star
+					if gen.fpDivThird && t%4 == 1 {
+						// FP-divide-heavy profiles chain a 24-cycle divide
+						// into the accumulator's dependence spine (IEEE: a
+						// zero divisor yields Inf, never a trap).
+						op = hlc.Slash
+					}
+				}
+				rhs = &hlc.BinaryExpr{Op: op, X: rhs,
+					Y: gen.srcWalk(term, slotOf(term, s+t), true)}
+				l, in := refCost(term)
+				loadsPerIter, instrsPerIter = loadsPerIter+l, instrsPerIter+in+1
 				fpPerIter++
 				emittedF = append(emittedF, term)
-			} else {
-				emitted = append(emitted, term)
+				if t%subTerms == 0 && t < termsPerStmt-1 {
+					// Flush the partial chain into the accumulator, C
+					// statement style. At -O0 the store and reload
+					// serialize the sub-statements through forwarding;
+					// mem2reg erases both at -O1+.
+					body = append(body, &hlc.AssignStmt{LHS: acc, Op: hlc.Assign, RHS: rhs})
+					rhs = hlc.Expr(acc)
+					loadsPerIter, instrsPerIter = loadsPerIter+1, instrsPerIter+2
+					storesPerIter++
+				}
+			}
+			body = append(body, &hlc.AssignStmt{LHS: acc, Op: hlc.Assign, RHS: rhs})
+			instrsPerIter += 2
+			storesPerIter++
+			continue
+		}
+		pool := srcs
+		dst := pool[s%len(pool)]
+		first := pool[(s+1)%len(pool)]
+		// Integer slots decompose into C-sized sub-statements chained
+		// through a named local: at -O0 every sub-statement reloads and
+		// re-stores the local (the stack traffic real -O0 code drowns
+		// in, serialized by forwarding), and mem2reg erases the local at
+		// -O1+, shrinking and parallelizing the slot the way
+		// optimization shrinks the original.
+		mt := &hlc.VarRef{Name: fmt.Sprintf("mt%d", s)}
+		rhs := hlc.Expr(gen.srcWalk(first, slotOf(first, s), false))
+		l, in := refCost(first)
+		loadsPerIter, instrsPerIter = loadsPerIter+l, instrsPerIter+in
+		declared := false
+		for t := 1; t < termsPerStmt; t++ {
+			term := pool[(s+1+t)%len(pool)]
+			rhs = &hlc.BinaryExpr{Op: hlc.Plus, X: rhs,
+				Y: gen.srcWalk(term, slotOf(term, s+t), false)}
+			l, in = refCost(term)
+			loadsPerIter, instrsPerIter = loadsPerIter+l, instrsPerIter+in+1
+			emitted = append(emitted, term)
+			if t%subTerms == 0 && t < termsPerStmt-1 {
+				if !declared {
+					body = append(body, &hlc.DeclStmt{Decl: &hlc.VarDecl{
+						Name: mt.Name, Type: hlc.TypeInt, Init: rhs}})
+					declared = true
+					instrsPerIter++
+				} else {
+					body = append(body, &hlc.AssignStmt{LHS: mt, Op: hlc.Assign, RHS: rhs})
+					instrsPerIter += 2
+					loadsPerIter++
+				}
+				rhs = hlc.Expr(mt)
+				storesPerIter++
 			}
 		}
+		if declared {
+			// The final sub-statement reloads the local.
+			loadsPerIter, instrsPerIter = loadsPerIter+1, instrsPerIter+1
+		}
 		body = append(body, &hlc.AssignStmt{
-			LHS: gen.srcWalk(dst, slotOf(dst, s), isFloat), Op: hlc.PlusEq, RHS: rhs,
+			LHS: gen.srcWalk(dst, slotOf(dst, s), false), Op: hlc.PlusEq, RHS: rhs,
 		})
 		l, in = refCost(dst)
 		loadsPerIter, instrsPerIter = loadsPerIter+l, instrsPerIter+in+2
-		if isFloat {
-			fpPerIter++ // the compound assignment's own FP add
-			emittedF = append(emittedF, first, dst)
-		} else {
-			emitted = append(emitted, first, dst)
-		}
+		storesPerIter++
+		emitted = append(emitted, first, dst)
 	}
 	seen := map[memRef]bool{}
 	for _, r := range append(append([]memRef{}, srcs...), fsrcs...) {
@@ -461,6 +534,44 @@ func (gen *generator) mixCompensationFunc() *hlc.FuncDecl {
 	body = append(body, gen.advancesFor(emittedF, true, 0)...)
 	loadsPerIter += 2 // loop iterator compare and increment
 	instrsPerIter += 9
+
+	// ALU compensation: pure register arithmetic over rotating locals, in
+	// proportion to the profile's integer-ALU share. This is the mass
+	// that separates optimization-friendly originals from memory-bound
+	// ones: at -O0 every statement is two stack reloads and a spill
+	// around the arithmetic, and at -O1+ mem2reg melts it into
+	// register-resident work that wide machines overlap — so an ALU-heavy
+	// profile's clone speeds up under optimization (and on wide cores)
+	// the way its original does, instead of staying pinned to the memory
+	// traffic the globals-based slots can never shed.
+	nA := 0
+	if totalT := gen.target[isa.ClassLoad] + gen.target[isa.ClassStore] +
+		gen.target[isa.ClassIntALU] + gen.target[isa.ClassFPAdd] +
+		gen.target[isa.ClassBranch]; totalT > 0 {
+		nA = min(int(gen.target[isa.ClassIntALU]/totalT*48+0.5), 32)
+	}
+	aluLocals := min(nA, 4)
+	for j := 0; j < nA; j++ {
+		ua := &hlc.VarRef{Name: fmt.Sprintf("ua%d", j%aluLocals)}
+		other := hlc.Expr(&hlc.VarRef{Name: fmt.Sprintf("ua%d", (j+1)%aluLocals)})
+		if j%3 == 2 {
+			other = &hlc.VarRef{Name: iter} // loop-varying, never folds
+		}
+		body = append(body, &hlc.AssignStmt{
+			LHS: ua, Op: hlc.Assign,
+			RHS: &hlc.BinaryExpr{Op: hlc.Amp,
+				X: &hlc.BinaryExpr{Op: hlc.Plus,
+					X: &hlc.BinaryExpr{Op: hlc.Star, X: ua, Y: intLit(int64(37 + 2*j))},
+					Y: other},
+				Y: intLit(65535)},
+		})
+		loadsPerIter += 2
+		instrsPerIter += 6
+		storesPerIter++
+	}
+	if nA > 0 {
+		gen.aluChainUsed = true
+	}
 
 	// Branch compensation: nB branch statements per iteration, hard vs.
 	// easy in the profile's own proportion, with hard taken rates drawn
@@ -541,23 +652,54 @@ func (gen *generator) mixCompensationFunc() *hlc.FuncDecl {
 	}
 	gen.compTrips = trip
 	gen.compDensity = loadsPerIter / instrsPerIter
-	iter := "mcomp"
 	gen.account(stmtFootprint{
 		loads:    loadsPerIter,
-		stores:   compSlots + 2,
-		ialu:     float64((compSlots-nFloat)*termsPerStmt) + 6 + 3*float64(nB),
+		stores:   storesPerIter + 2,
+		ialu:     float64((compSlots-nFloat)*termsPerStmt) + 6 + 3*float64(nB) + 3*float64(nA),
 		fpu:      fpPerIter,
 		branches: 1 + float64(nB),
 	}, float64(trip))
+	// The accumulator locals wrap the loop: declared (stack slots at -O0,
+	// registers after mem2reg) before it, and published to the printed
+	// globals after it so the chains stay live.
+	stmts := make([]hlc.Stmt, 0, 2*nFloat+aluLocals+2)
+	for i := 0; i < nFloat; i++ {
+		stmts = append(stmts, &hlc.DeclStmt{Decl: &hlc.VarDecl{
+			Name: fpAccLocal(i), Type: hlc.TypeFloat,
+			Init: &hlc.FloatLit{Value: 0.5 + float64(i)*0.25},
+		}})
+	}
+	for i := 0; i < aluLocals; i++ {
+		stmts = append(stmts, &hlc.DeclStmt{Decl: &hlc.VarDecl{
+			Name: fmt.Sprintf("ua%d", i), Type: hlc.TypeInt, Init: intLit(int64(3 + i)),
+		}})
+	}
+	stmts = append(stmts, &hlc.ForStmt{
+		Init: &hlc.DeclStmt{Decl: &hlc.VarDecl{Name: iter, Type: hlc.TypeInt, Init: intLit(0)}},
+		Cond: &hlc.BinaryExpr{Op: hlc.Lt, X: &hlc.VarRef{Name: iter}, Y: intLit(int64(trip))},
+		Post: &hlc.AssignStmt{LHS: &hlc.VarRef{Name: iter}, Op: hlc.PlusEq, RHS: intLit(1)},
+		Body: &hlc.Block{Stmts: body},
+	})
+	for i := 0; i < nFloat; i++ {
+		stmts = append(stmts, &hlc.AssignStmt{
+			LHS: &hlc.VarRef{Name: fpAccName(i)}, Op: hlc.Assign,
+			RHS: &hlc.VarRef{Name: fpAccLocal(i)},
+		})
+	}
+	if nA > 0 {
+		sum := hlc.Expr(&hlc.VarRef{Name: "ua0"})
+		for i := 1; i < aluLocals; i++ {
+			sum = &hlc.BinaryExpr{Op: hlc.Plus, X: sum,
+				Y: &hlc.VarRef{Name: fmt.Sprintf("ua%d", i)}}
+		}
+		stmts = append(stmts, &hlc.AssignStmt{
+			LHS: &hlc.VarRef{Name: "uax"}, Op: hlc.Assign, RHS: sum,
+		})
+	}
 	return &hlc.FuncDecl{
 		Name: fmt.Sprintf("work%d", len(gen.funcs)),
 		Ret:  hlc.TypeVoid,
-		Body: &hlc.Block{Stmts: []hlc.Stmt{&hlc.ForStmt{
-			Init: &hlc.DeclStmt{Decl: &hlc.VarDecl{Name: iter, Type: hlc.TypeInt, Init: intLit(0)}},
-			Cond: &hlc.BinaryExpr{Op: hlc.Lt, X: &hlc.VarRef{Name: iter}, Y: intLit(int64(trip))},
-			Post: &hlc.AssignStmt{LHS: &hlc.VarRef{Name: iter}, Op: hlc.PlusEq, RHS: intLit(1)},
-			Body: &hlc.Block{Stmts: body},
-		}}},
+		Body: &hlc.Block{Stmts: stmts},
 	}
 }
 
@@ -771,6 +913,13 @@ func toBlock(s hlc.Stmt) *hlc.Block {
 func intLit(v int64) *hlc.IntLit { return &hlc.IntLit{Value: v} }
 
 // --- stream naming and references ---
+
+// fpAccName names the i-th loop-carried FP accumulator global (the
+// published, printed copy of the chain's final value).
+func fpAccName(i int) string { return fmt.Sprintf("facc%d", i) }
+
+// fpAccLocal names the i-th accumulator's in-loop local.
+func fpAccLocal(i int) string { return fmt.Sprintf("fl%d", i) }
 
 func intStreamName(c int) string   { return fmt.Sprintf("mStream%d", c) }
 func floatStreamName(c int) string { return fmt.Sprintf("fStream%d", c) }

@@ -49,6 +49,14 @@ const (
 	// map i -> i*step+1 mod 2^k is a full-period permutation for any
 	// power-of-two length ≥ 4).
 	chaseStep = 25033
+	// chaseLineSpread spaces chase elements one cache line apart (8
+	// 4-byte ints = 32B) for sites whose misses survive the wide
+	// profiling cache: a dense chase of the same period fits mid-level
+	// caches and its misses stop there, while the original's walk keeps
+	// missing all the way to memory. Spreading multiplies the footprint
+	// by 8 without growing the init loop (the permutation period — the
+	// init cost — is unchanged).
+	chaseLineSpread = 8
 )
 
 // Stream classification thresholds: a site is irregular when no single
@@ -92,8 +100,14 @@ type walkerSpec struct {
 	qstep int
 	short bool
 	long  bool
-	// Chase walkers: the permutation length in elements.
+	// xlong walkers (misses survive even the wide cache nearly intact)
+	// stream over 16x the standard range so their misses reach memory
+	// instead of re-warming mid-level caches.
+	xlong bool
+	// Chase walkers: the permutation length in elements, and the element
+	// spacing (1 = dense, chaseLineSpread = one line per element).
 	chaseLen int
+	spread   int
 }
 
 // walker is one allocated stream walker.
@@ -161,7 +175,15 @@ func (gen *generator) streamSpec(s *sfgl.Stream, float bool) (walkerSpec, bool) 
 		if resident && ln > chaseMidLen {
 			ln = chaseMidLen
 		}
-		return walkerSpec{kind: walkChase, float: float, chaseLen: ln}, true
+		// High-miss chases whose misses survive the wide cache walk a
+		// structure bigger than any mid-level cache: spread the elements
+		// one line apart so the (budget-capped) permutation covers a
+		// working set that misses to memory, like the original's.
+		spread := 1
+		if !resident && m >= chaseBigMiss && s.MissWide >= 0.5*s.MissRate {
+			spread = chaseLineSpread
+		}
+		return walkerSpec{kind: walkChase, float: float, chaseLen: ln, spread: spread}, true
 	}
 	// Regular: fractional stride from the measured miss rate. A stride of
 	// missRate*lineSize bytes reproduces the rate; quarter-elements are
@@ -179,9 +201,13 @@ func (gen *generator) streamSpec(s *sfgl.Stream, float bool) (walkerSpec, bool) 
 	}
 	// Pure streaming (misses survive even the wide cache): quadruple the
 	// range so the walk stays compulsory-cold instead of re-warming the
-	// second level when compensation traffic laps the array.
+	// second level when compensation traffic laps the array; when the
+	// wide-cache misses are nearly all of the narrow-cache ones the
+	// stream never re-warms anything and the range grows 16x so its
+	// misses go to memory on machines with mid-sized second levels.
 	long := !resident && s.MissRate >= 0.05 && s.MissWide >= 0.7*s.MissRate
-	return walkerSpec{kind: walkStride, float: float, qstep: q, short: resident, long: long}, true
+	xlong := long && s.MissRate >= 0.1 && s.MissWide >= 0.85*s.MissRate
+	return walkerSpec{kind: walkStride, float: float, qstep: q, short: resident, long: long, xlong: xlong}, true
 }
 
 // walkerForSpec returns the walker for a signature, materializing it if
@@ -281,6 +307,15 @@ func (w *walker) scalarName(j int) string {
 	return fmt.Sprintf("zi%d_%d", w.id, j)
 }
 
+// chaseSpan is a chase walker's walked element range: the permutation
+// period times the element spacing.
+func (w *walker) chaseSpan() int {
+	if w.spread > 1 {
+		return w.chaseLen * w.spread
+	}
+	return w.chaseLen
+}
+
 func (w *walker) walkLen() int {
 	if w.kind == walkChase {
 		return w.chaseLen
@@ -289,10 +324,12 @@ func (w *walker) walkLen() int {
 	if w.float {
 		n = strideWalkLenF
 	}
-	if w.short {
+	switch {
+	case w.short:
 		n /= 2 // 32KB: misses the small caches, stays wide-resident
-	}
-	if w.long {
+	case w.xlong:
+		n *= 16 // 1MB: streaming misses reach memory past mid-sized L2s
+	case w.long:
 		n *= 4 // 256KB: compulsory-cold streaming
 	}
 	return n
@@ -457,13 +494,13 @@ func (gen *generator) walkerDecls() []*hlc.VarDecl {
 		}
 		if w.kind == walkChase {
 			out = append(out, &hlc.VarDecl{Name: w.arrName(), Type: hlc.TypeInt,
-				ArrayLen: w.chaseLen + walkPad})
+				ArrayLen: w.chaseSpan() + walkPad})
 			typ := hlc.TypeInt
 			if w.float {
 				typ = hlc.TypeFloat
 			}
 			out = append(out, &hlc.VarDecl{Name: w.dataName(), Type: typ,
-				ArrayLen: w.chaseLen + walkPad})
+				ArrayLen: w.chaseSpan() + walkPad})
 			out = append(out, &hlc.VarDecl{Name: w.idxName(), Type: hlc.TypeInt})
 			continue
 		}
@@ -486,7 +523,9 @@ func (gen *generator) walkerDecls() []*hlc.VarDecl {
 // chaseInitStmts builds the permutation-shuffle loops that run at the top
 // of main: cA[i] = (i*chaseStep + 1) & (len-1), a full-period affine
 // permutation, so following cA from any start visits every element in a
-// pseudo-random line order.
+// pseudo-random line order. Spread walkers scale both the slot and the
+// stored successor by the element spacing: the walked positions are
+// i*spread, one line apart, and the init loop stays O(period).
 func (gen *generator) chaseInitStmts() []hlc.Stmt {
 	var out []hlc.Stmt
 	for _, w := range gen.walkers {
@@ -494,14 +533,20 @@ func (gen *generator) chaseInitStmts() []hlc.Stmt {
 			continue
 		}
 		iter := fmt.Sprintf("ci%d", w.id)
+		slot := hlc.Expr(&hlc.VarRef{Name: iter})
+		perm := hlc.Expr(&hlc.BinaryExpr{Op: hlc.Amp,
+			X: &hlc.BinaryExpr{Op: hlc.Plus,
+				X: &hlc.BinaryExpr{Op: hlc.Star, X: &hlc.VarRef{Name: iter}, Y: intLit(chaseStep)},
+				Y: intLit(1)},
+			Y: intLit(int64(w.chaseLen - 1))})
+		if w.spread > 1 {
+			slot = &hlc.BinaryExpr{Op: hlc.Star, X: slot, Y: intLit(int64(w.spread))}
+			perm = &hlc.BinaryExpr{Op: hlc.Star, X: perm, Y: intLit(int64(w.spread))}
+		}
 		body := []hlc.Stmt{&hlc.AssignStmt{
-			LHS: &hlc.IndexExpr{Name: w.arrName(), Idx: &hlc.VarRef{Name: iter}},
+			LHS: &hlc.IndexExpr{Name: w.arrName(), Idx: slot},
 			Op:  hlc.Assign,
-			RHS: &hlc.BinaryExpr{Op: hlc.Amp,
-				X: &hlc.BinaryExpr{Op: hlc.Plus,
-					X: &hlc.BinaryExpr{Op: hlc.Star, X: &hlc.VarRef{Name: iter}, Y: intLit(chaseStep)},
-					Y: intLit(1)},
-				Y: intLit(int64(w.chaseLen - 1))},
+			RHS: perm,
 		}}
 		out = append(out, &hlc.ForStmt{
 			Init: &hlc.DeclStmt{Decl: &hlc.VarDecl{Name: iter, Type: hlc.TypeInt, Init: intLit(0)}},

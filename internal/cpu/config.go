@@ -50,6 +50,9 @@ func (c Config) Validate() error {
 	if c.MispredictPenalty < 0 {
 		return fmt.Errorf("cpu: config %q: negative mispredict penalty %d", c.Name, c.MispredictPenalty)
 	}
+	if c.StoreQueue < 0 {
+		return fmt.Errorf("cpu: config %q: negative store queue %d", c.Name, c.StoreQueue)
+	}
 	if c.FreqGHz < 0 || math.IsNaN(c.FreqGHz) || math.IsInf(c.FreqGHz, 0) {
 		return fmt.Errorf("cpu: config %q: bad frequency %v", c.Name, c.FreqGHz)
 	}
@@ -66,9 +69,9 @@ func (c Config) CanonicalConfig() string {
 	if c.ISA != nil {
 		isaName = c.ISA.Name
 	}
-	return fmt.Sprintf("v1|%s|%016x|%d|%d|%d|%d|%d|%d|%d|%d|%d|%d|%t|%s",
+	return fmt.Sprintf("v2|%s|%016x|%d|%d|%d|%d|%d|%d|%d|%d|%d|%d|%d|%t|%s",
 		isaName, math.Float64bits(c.FreqGHz),
-		c.Width, c.ROB, c.MispredictPenalty,
+		c.Width, c.ROB, c.MispredictPenalty, c.StoreQueue,
 		c.L1KB, c.L1Assoc, c.L1Lat,
 		c.L2KB, c.L2Assoc, c.L2Lat, c.MemLat,
 		c.EPIC, newPredictor(c).Name())
@@ -117,10 +120,11 @@ type ConfigSpec struct {
 	ISA string `json:"isa"`
 	// FreqGHz is the clock frequency used for wall-clock projection.
 	FreqGHz float64 `json:"freqGHz,omitempty"`
-	// Width, ROB, and MispredictPenalty mirror Config.
+	// Width, ROB, MispredictPenalty, and StoreQueue mirror Config.
 	Width             int `json:"width"`
 	ROB               int `json:"rob,omitempty"`
 	MispredictPenalty int `json:"mispredictPenalty"`
+	StoreQueue        int `json:"storeQueue,omitempty"`
 	// Cache hierarchy geometry and latencies, mirroring Config.
 	L1KB    int `json:"l1KB"`
 	L1Assoc int `json:"l1Assoc"`
@@ -146,7 +150,8 @@ func SpecOf(c Config) ConfigSpec {
 	return ConfigSpec{
 		Name: c.Name, ISA: isaName, FreqGHz: c.FreqGHz,
 		Width: c.Width, ROB: c.ROB, MispredictPenalty: c.MispredictPenalty,
-		L1KB: c.L1KB, L1Assoc: c.L1Assoc, L1Lat: c.L1Lat,
+		StoreQueue: c.StoreQueue,
+		L1KB:       c.L1KB, L1Assoc: c.L1Assoc, L1Lat: c.L1Lat,
 		L2KB: c.L2KB, L2Assoc: c.L2Assoc, L2Lat: c.L2Lat, MemLat: c.MemLat,
 		EPIC: c.EPIC, Predictor: newPredictor(c).Name(),
 	}
@@ -157,9 +162,9 @@ func SpecOf(c Config) ConfigSpec {
 // it never resolves names, so it is total: even a spec naming an unknown
 // ISA has a stable canonical.
 func (s ConfigSpec) Canonical() string {
-	return fmt.Sprintf("v1|%s|%016x|%d|%d|%d|%d|%d|%d|%d|%d|%d|%d|%t|%s",
+	return fmt.Sprintf("v2|%s|%016x|%d|%d|%d|%d|%d|%d|%d|%d|%d|%d|%d|%t|%s",
 		s.ISA, math.Float64bits(s.FreqGHz),
-		s.Width, s.ROB, s.MispredictPenalty,
+		s.Width, s.ROB, s.MispredictPenalty, s.StoreQueue,
 		s.L1KB, s.L1Assoc, s.L1Lat,
 		s.L2KB, s.L2Assoc, s.L2Lat, s.MemLat,
 		s.EPIC, s.Predictor)
@@ -181,7 +186,8 @@ func (s ConfigSpec) Config() (Config, error) {
 	c := Config{
 		Name: s.Name, ISA: desc, FreqGHz: s.FreqGHz,
 		Width: s.Width, ROB: s.ROB, MispredictPenalty: s.MispredictPenalty,
-		L1KB: s.L1KB, L1Assoc: s.L1Assoc, L1Lat: s.L1Lat,
+		StoreQueue: s.StoreQueue,
+		L1KB:       s.L1KB, L1Assoc: s.L1Assoc, L1Lat: s.L1Lat,
 		L2KB: s.L2KB, L2Assoc: s.L2Assoc, L2Lat: s.L2Lat, MemLat: s.MemLat,
 		EPIC: s.EPIC, NewPredictor: newPred,
 	}
@@ -262,6 +268,7 @@ var Axes = []Axis{
 		return nil
 	}},
 	intAxis("rob", func(c *Config, v int) { c.ROB = v }),
+	intAxis("storeQueue", func(c *Config, v int) { c.StoreQueue = v }),
 	intAxis("width", func(c *Config, v int) { c.Width = v }),
 }
 

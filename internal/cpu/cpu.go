@@ -38,6 +38,7 @@ type Config struct {
 	Width             int // dispatch width (instructions/cycle); EPIC: bundles/cycle
 	ROB               int // reorder-buffer entries (OoO only)
 	MispredictPenalty int // front-end refill bubbles after a mispredict
+	StoreQueue        int // in-flight store entries (0 = DefaultStoreQueue)
 
 	L1KB, L1Assoc        int
 	L2KB, L2Assoc        int
@@ -58,6 +59,8 @@ type Result struct {
 	TimeSec     float64
 	L1          cache.Stats
 	L2          cache.Stats
+	L1Store     cache.Stats
+	L2Store     cache.Stats
 	BranchAcc   float64
 	Branches    uint64
 	Mispredicts uint64
@@ -76,9 +79,13 @@ type Summary struct {
 	Instrs  uint64  `json:"instrs"`
 	CPI     float64 `json:"cpi"`
 	TimeSec float64 `json:"timeSec"`
-	// L1 and L2 are the data-cache access statistics.
-	L1 cache.Stats `json:"l1"`
-	L2 cache.Stats `json:"l2"`
+	// L1 and L2 are the load-side data-cache access statistics; L1Store
+	// and L2Store count store accesses separately so the load hit rates
+	// are not diluted by store fills.
+	L1      cache.Stats `json:"l1"`
+	L2      cache.Stats `json:"l2"`
+	L1Store cache.Stats `json:"l1Store,omitempty"`
+	L2Store cache.Stats `json:"l2Store,omitempty"`
 	// BranchAcc, Branches, and Mispredicts summarize branch prediction.
 	BranchAcc   float64 `json:"branchAcc"`
 	Branches    uint64  `json:"branches"`
@@ -90,6 +97,7 @@ func (r Result) Summary() Summary {
 	return Summary{
 		Machine: r.Machine, Cycles: r.Cycles, Instrs: r.Instrs,
 		CPI: r.CPI, TimeSec: r.TimeSec, L1: r.L1, L2: r.L2,
+		L1Store: r.L1Store, L2Store: r.L2Store,
 		BranchAcc: r.BranchAcc, Branches: r.Branches, Mispredicts: r.Mispredicts,
 	}
 }
@@ -227,6 +235,8 @@ const (
 	kindLoad
 	kindStore
 	kindBranch
+	kindCall
+	kindRet
 )
 
 func buildSites(prog *isa.Program) []siteInfo {
@@ -246,6 +256,10 @@ func buildSites(prog *isa.Program) []siteInfo {
 		case isa.BR:
 			si.kind = kindBranch
 			si.pc = branchPC(loc.Func, loc.Block, loc.Index)
+		case isa.CALL:
+			si.kind = kindCall
+		case isa.RET:
+			si.kind = kindRet
 		}
 		blk := prog.Funcs[loc.Func].Blocks[loc.Block]
 		bundleID := loc.Index // unscheduled code: every instruction its own bundle
@@ -255,6 +269,147 @@ func buildSites(prog *isa.Program) []siteInfo {
 		si.bkey = uint64(lay.BlockID(loc.Func, loc.Block))<<20 | uint64(bundleID)&(1<<20-1)
 	}
 	return sites
+}
+
+// DefaultStoreQueue is the store-queue depth used when Config.StoreQueue
+// is zero.
+const DefaultStoreQueue = 16
+
+// lineShift matches the 32-byte line size newHierarchy configures: store
+// queue entries and load conflict checks work at cache-line granularity,
+// which is the granularity a real store buffer's partial-overlap CAM
+// collapses to in the common case.
+const lineShift = 5
+
+// storeEntry is one in-flight store in the store queue: its cache line,
+// the cycle its data became available (forwardable to younger loads), and
+// the cycle it completes through the memory hierarchy (its queue entry
+// frees and conservative in-order loads stop waiting on it).
+type storeEntry struct {
+	line      uint64
+	dataReady uint64
+	done      uint64
+}
+
+// storeQueue is the bounded in-flight store window both timing models
+// share. Stores enter at dispatch with a real hierarchy completion time
+// instead of retiring in a cycle; a full queue stalls dispatch until the
+// oldest store drains, and younger loads search it newest-first for
+// same-line conflicts.
+type storeQueue struct {
+	q     []storeEntry
+	head  int
+	count int
+}
+
+func newStoreQueue(n int) *storeQueue {
+	if n <= 0 {
+		n = DefaultStoreQueue
+	}
+	return &storeQueue{q: make([]storeEntry, n)}
+}
+
+// drain retires entries completed at or before now.
+func (sq *storeQueue) drain(now uint64) {
+	for sq.count > 0 && sq.q[sq.head].done <= now {
+		sq.head = (sq.head + 1) % len(sq.q)
+		sq.count--
+	}
+}
+
+func (sq *storeQueue) full() bool { return sq.count == len(sq.q) }
+
+// oldestDone returns the completion time of the oldest in-flight store
+// (0 when empty).
+func (sq *storeQueue) oldestDone() uint64 {
+	if sq.count == 0 {
+		return 0
+	}
+	return sq.q[sq.head].done
+}
+
+// push enters a store (the caller guarantees space via drain/full).
+func (sq *storeQueue) push(e storeEntry) {
+	sq.q[(sq.head+sq.count)%len(sq.q)] = e
+	sq.count++
+}
+
+// match returns the newest in-flight store on line still incomplete at
+// time t.
+func (sq *storeQueue) match(line uint64, t uint64) (storeEntry, bool) {
+	for i := sq.count - 1; i >= 0; i-- {
+		e := sq.q[(sq.head+i)%len(sq.q)]
+		if e.line == line && e.done > t {
+			return e, true
+		}
+	}
+	return storeEntry{}, false
+}
+
+// regFile is the frame-versioned register-ready table both models use.
+// VM registers are per-frame, so readiness keyed by bare RegID would alias
+// a callee's r3 with the caller's unrelated r3 across CALL/RET; each
+// frame gets a stamp, and a register's readiness only applies when its
+// stamp matches the current frame. A CALL's return-value register is
+// defined when the matching RET resolves, in the caller's frame.
+type regFile struct {
+	ready []uint64
+	stamp []uint32
+	frame uint32
+	next  uint32
+	calls []frameRet
+}
+
+// frameRet records, per active call, the caller's frame stamp and the
+// caller register the callee's RET defines.
+type frameRet struct {
+	frame uint32
+	ret   isa.RegID
+}
+
+func newRegFile(maxRegs int) *regFile {
+	return &regFile{
+		ready: make([]uint64, maxRegs+1),
+		stamp: make([]uint32, maxRegs+1),
+	}
+}
+
+// readyAt folds register r's readiness into start (identity when r is
+// unwritten in the current frame).
+func (rf *regFile) readyAt(r isa.RegID, start uint64) uint64 {
+	if r != isa.NoReg && rf.stamp[r] == rf.frame && rf.ready[r] > start {
+		return rf.ready[r]
+	}
+	return start
+}
+
+// define marks register r ready at time t in the current frame.
+func (rf *regFile) define(r isa.RegID, t uint64) {
+	if r != isa.NoReg {
+		rf.ready[r] = t
+		rf.stamp[r] = rf.frame
+	}
+}
+
+// call enters a new frame; ret is the caller register the matching RET
+// will define.
+func (rf *regFile) call(ret isa.RegID) {
+	rf.calls = append(rf.calls, frameRet{frame: rf.frame, ret: ret})
+	rf.next++
+	rf.frame = rf.next
+}
+
+// ret leaves the current frame, defining the recorded return register in
+// the caller's frame at time t.
+func (rf *regFile) ret(t uint64) {
+	n := len(rf.calls)
+	if n == 0 {
+		return // program-exit RET of main
+	}
+	fr := rf.calls[n-1]
+	rf.calls = rf.calls[:n-1]
+	rf.frame = fr.frame
+	rf.define(fr.ret, t)
 }
 
 // ooOModel is the out-of-order window model.
@@ -269,7 +424,9 @@ type ooOModel struct {
 
 	cycle          uint64 // current fetch cycle
 	fetchedThis    int    // instructions dispatched in the current cycle
-	regReady       []uint64
+	regs           *regFile
+	sq             *storeQueue
+	depTrained     []bool   // per load site: store-set predictor entry
 	rob            []uint64 // completion times, ring buffer of ROB size
 	robHead        int
 	robCount       int
@@ -283,13 +440,16 @@ func newOoOModel(prog *isa.Program, cfg Config) *ooOModel {
 			maxRegs = f.NumRegs
 		}
 	}
+	sites := buildSites(prog)
 	return &ooOModel{
-		cfg:      cfg,
-		hier:     newHierarchy(cfg),
-		pred:     newPredictor(cfg),
-		sites:    buildSites(prog),
-		regReady: make([]uint64, maxRegs+1),
-		rob:      make([]uint64, max(cfg.ROB, 8)),
+		cfg:        cfg,
+		hier:       newHierarchy(cfg),
+		pred:       newPredictor(cfg),
+		sites:      sites,
+		regs:       newRegFile(maxRegs),
+		sq:         newStoreQueue(cfg.StoreQueue),
+		depTrained: make([]bool, len(sites)),
+		rob:        make([]uint64, max(cfg.ROB, 8)),
 	}
 }
 
@@ -311,20 +471,51 @@ func (m *ooOModel) observe(ev *vm.Event) {
 	m.fetchedThis++
 
 	si := &m.sites[ev.Site]
-	start := m.cycle
-	if si.u1 != isa.NoReg && m.regReady[si.u1] > start {
-		start = m.regReady[si.u1]
-	}
-	if si.u2 != isa.NoReg && m.regReady[si.u2] > start {
-		start = m.regReady[si.u2]
-	}
+	start := m.regs.readyAt(si.u1, m.cycle)
+	start = m.regs.readyAt(si.u2, start)
 
 	var lat uint64
 	switch si.kind {
 	case kindLoad:
-		lat = uint64(m.hier.AccessLatency(ev.Addr))
+		line := ev.Addr >> lineShift
+		if e, ok := m.sq.match(line, start); ok {
+			// An older store to the same line is in flight: forward its
+			// data (the write never reaches the cache before the load).
+			// The store-set predictor learns the conflict: the first time
+			// a load site hits one it has speculatively bypassed the
+			// store and replays; once trained, the site waits for the
+			// store data and pays only the forwarding latency.
+			data := max(start, e.dataReady) + uint64(m.cfg.L1Lat)
+			if !m.depTrained[ev.Site] {
+				m.depTrained[ev.Site] = true
+				data += uint64(m.cfg.MispredictPenalty)
+			}
+			lat = data - start
+		} else {
+			lat = uint64(m.hier.AccessLatency(ev.Addr))
+		}
 	case kindStore:
-		m.hier.AccessLatency(ev.Addr) // fill caches; store buffer hides latency
+		// Stores occupy a queue entry until the written line completes
+		// through the hierarchy; a full queue stalls dispatch until the
+		// oldest drains. Retirement itself costs one cycle — the latency
+		// lives in the queue, where loads and in-order issue can see it.
+		m.sq.drain(start)
+		if m.sq.full() {
+			od := m.sq.oldestDone()
+			if od > m.cycle {
+				m.cycle = od
+				m.fetchedThis = 0
+			}
+			if od > start {
+				start = od
+			}
+			m.sq.drain(start)
+		}
+		m.sq.push(storeEntry{
+			line:      ev.Addr >> lineShift,
+			dataReady: start,
+			done:      start + uint64(m.hier.StoreLatency(ev.Addr)),
+		})
 		lat = 1
 	default:
 		lat = uint64(si.lat)
@@ -346,8 +537,13 @@ func (m *ooOModel) observe(ev *vm.Event) {
 		}
 	}
 
-	if si.def != isa.NoReg {
-		m.regReady[si.def] = done
+	switch si.kind {
+	case kindCall:
+		m.regs.call(si.def)
+	case kindRet:
+		m.regs.ret(done)
+	default:
+		m.regs.define(si.def, done)
 	}
 	if done > m.lastCompletion {
 		m.lastCompletion = done
@@ -363,6 +559,8 @@ func (m *ooOModel) finish() Result {
 		Cycles:      max(m.cycle, m.lastCompletion),
 		L1:          m.hier.L1.Stats,
 		L2:          m.hier.L2.Stats,
+		L1Store:     m.hier.L1.StoreStats,
+		L2Store:     m.hier.L2.StoreStats,
 		Branches:    m.stats.branches,
 		Mispredicts: m.stats.mispredicts,
 	}
@@ -383,7 +581,8 @@ type epicModel struct {
 	stats struct{ branches, mispredicts uint64 }
 
 	cycle          uint64
-	regReady       []uint64
+	regs           *regFile
+	sq             *storeQueue
 	lastCompletion uint64
 
 	// Current bundle identity: instructions whose site shares a bkey
@@ -399,12 +598,13 @@ func newEPICModel(prog *isa.Program, cfg Config) *epicModel {
 		}
 	}
 	return &epicModel{
-		cfg:      cfg,
-		hier:     newHierarchy(cfg),
-		pred:     newPredictor(cfg),
-		sites:    buildSites(prog),
-		regReady: make([]uint64, maxRegs+1),
-		curKey:   ^uint64(0), // no bundle yet
+		cfg:    cfg,
+		hier:   newHierarchy(cfg),
+		pred:   newPredictor(cfg),
+		sites:  buildSites(prog),
+		regs:   newRegFile(maxRegs),
+		sq:     newStoreQueue(cfg.StoreQueue),
+		curKey: ^uint64(0), // no bundle yet
 	}
 }
 
@@ -416,13 +616,8 @@ func (m *epicModel) observe(ev *vm.Event) {
 	}
 
 	// In-order stall: the whole machine waits for this bundle's inputs.
-	start := m.cycle
-	if si.u1 != isa.NoReg && m.regReady[si.u1] > start {
-		start = m.regReady[si.u1]
-	}
-	if si.u2 != isa.NoReg && m.regReady[si.u2] > start {
-		start = m.regReady[si.u2]
-	}
+	start := m.regs.readyAt(si.u1, m.cycle)
+	start = m.regs.readyAt(si.u2, start)
 	if start > m.cycle {
 		m.cycle = start // stall cycles
 	}
@@ -430,9 +625,30 @@ func (m *epicModel) observe(ev *vm.Event) {
 	var lat uint64
 	switch si.kind {
 	case kindLoad:
+		// Conservative in-order rule: a load may not issue past an
+		// unresolved older store to the same line. There is no forwarding
+		// network — the machine stalls until the store has executed and
+		// written the cache (one L1 latency past its data being ready),
+		// then the load replays and pays its own cache access.
+		if e, ok := m.sq.match(ev.Addr>>lineShift, m.cycle); ok {
+			if t := e.dataReady + uint64(m.cfg.L1Lat); t > m.cycle {
+				m.cycle = t
+			}
+		}
 		lat = uint64(m.hier.AccessLatency(ev.Addr))
 	case kindStore:
-		m.hier.AccessLatency(ev.Addr)
+		m.sq.drain(m.cycle)
+		if m.sq.full() {
+			if od := m.sq.oldestDone(); od > m.cycle {
+				m.cycle = od
+			}
+			m.sq.drain(m.cycle)
+		}
+		m.sq.push(storeEntry{
+			line:      ev.Addr >> lineShift,
+			dataReady: m.cycle,
+			done:      m.cycle + uint64(m.hier.StoreLatency(ev.Addr)),
+		})
 		lat = 1
 	default:
 		lat = uint64(si.lat)
@@ -449,8 +665,13 @@ func (m *epicModel) observe(ev *vm.Event) {
 		}
 	}
 
-	if si.def != isa.NoReg {
-		m.regReady[si.def] = done
+	switch si.kind {
+	case kindCall:
+		m.regs.call(si.def)
+	case kindRet:
+		m.regs.ret(done)
+	default:
+		m.regs.define(si.def, done)
 	}
 	if done > m.lastCompletion {
 		m.lastCompletion = done
@@ -462,6 +683,8 @@ func (m *epicModel) finish() Result {
 		Cycles:      max(m.cycle, m.lastCompletion),
 		L1:          m.hier.L1.Stats,
 		L2:          m.hier.L2.Stats,
+		L1Store:     m.hier.L1.StoreStats,
+		L2Store:     m.hier.L2.StoreStats,
 		Branches:    m.stats.branches,
 		Mispredicts: m.stats.mispredicts,
 	}

@@ -12,10 +12,14 @@ import (
 
 // guardedPackages are the packages whose exported API must be fully
 // documented: the orchestration layer, the synthesis core, the profiler,
-// the persistence layer, the cluster coordination layer, and the VM.
+// the persistence layer, the cluster coordination layer, the VM, and the
+// timing model (cpu and its cache hierarchy), whose memory-dependence
+// semantics docs/memory-model.md documents.
 var guardedPackages = []string{
 	"../pipeline",
 	"../core",
+	"../cpu",
+	"../cache",
 	"../profile",
 	"../sfgl",
 	"../store",

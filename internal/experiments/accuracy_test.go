@@ -11,17 +11,20 @@ import (
 // ceilings are set just under the currently measured values (see
 // EXPERIMENTS.md); when accuracy improves, tighten them.
 
-// Accuracy floors/ceilings. Measured at the time of writing: Fig. 10
-// quick-suite correlation 0.63, qsort relative CPI error 0.42, susan 0.21,
-// Fig. 11 average speedup-prediction error 8.2%.
+// Accuracy floors/ceilings. Measured at the time of writing (after the
+// store-forwarding timing model and dependence-chain emission landed):
+// Fig. 10 quick-suite correlation 0.725, qsort relative CPI error 0.26,
+// susan 0.04, patricia 0.02, Fig. 11 average speedup-prediction error
+// 11.0%, max 29.9%.
 const (
-	fig10CorrFloor   = 0.56
-	qsortCPIErrCeil  = 0.50
-	susanCPIErrCeil  = 0.30
-	fig11AvgErrCeil  = 0.12
-	fig11MaxErrCeil  = 0.45
-	tableIIMinCovFlr = 0.85
-	tableIIAvgCovFlr = 0.95
+	fig10CorrFloor     = 0.70
+	qsortCPIErrCeil    = 0.35
+	susanCPIErrCeil    = 0.10
+	patriciaCPIErrCeil = 0.50 // the paper's 1.5x CPI acceptance band
+	fig11AvgErrCeil    = 0.12
+	fig11MaxErrCeil    = 0.30
+	tableIIMinCovFlr   = 0.85
+	tableIIAvgCovFlr   = 0.95
 )
 
 // relErr returns |a-b| / |b|.
@@ -45,8 +48,9 @@ func TestAccuracyGateFig10(t *testing.T) {
 			res.Correlation, fig10CorrFloor)
 	}
 	ceilings := map[string]float64{
-		"qsort/large":  qsortCPIErrCeil,
-		"susan/small2": susanCPIErrCeil,
+		"qsort/large":    qsortCPIErrCeil,
+		"susan/small2":   susanCPIErrCeil,
+		"patricia/small": patriciaCPIErrCeil,
 	}
 	for _, row := range res.Rows {
 		ceil, ok := ceilings[row.Name]

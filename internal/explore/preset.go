@@ -21,10 +21,11 @@ func Calibration() Spec {
 		Levels: []int{2},
 		Base:   "2-wide OoO",
 		Axes: map[string][]any{
-			"memLat": []any{150.0, 300.0, 500.0},
-			"l2KB":   []any{64.0, 512.0},
-			"l2Lat":  []any{12.0, 24.0},
-			"rob":    []any{16.0, 64.0},
+			"memLat":     []any{150.0, 300.0, 500.0},
+			"l2KB":       []any{64.0, 512.0},
+			"l2Lat":      []any{12.0, 24.0},
+			"rob":        []any{16.0, 64.0},
+			"storeQueue": []any{4.0, 8.0},
 		},
 	}
 }

@@ -56,9 +56,12 @@ type Key struct {
 // artifacts computed under the v2 single-class model must never be
 // served to a v3 pipeline; v4 adds the Generate stage, whose reports
 // embed whole-corpus coverage statistics keyed by a generation-spec
-// fingerprint carried in Workload).
+// fingerprint carried in Workload; v5 invalidates everything simulated
+// or synthesized before the timing model learned memory dependences —
+// store-queue forwarding and the dependence-chain emission change both
+// cycle counts and clone sources, so pre-v5 artifacts are stale).
 func (k Key) Canonical() string {
-	return fmt.Sprintf("v4|%d|%s|%s|%d|%d|%t|%s|%d|%d|%d|%d|%d|%s|%s",
+	return fmt.Sprintf("v5|%d|%s|%s|%d|%d|%t|%s|%d|%d|%d|%d|%d|%s|%s",
 		k.Stage, k.Workload, k.ISA, k.Level, k.Seed, k.Clone,
 		k.Cache.Name, k.Cache.Size, k.Cache.LineSize, k.Cache.Assoc,
 		k.TargetDyn, k.MaxInstrs, k.Src, k.Sim)

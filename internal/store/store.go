@@ -32,8 +32,10 @@ import (
 // 3 moved profiling and synthesis to the per-site stride-stream model
 // (pipeline canonical keys v3), partitioning stream-keyed artifacts from
 // single-class ones; version 4 added the generation stage and its report
-// artifacts (pipeline canonical keys v4).
-const SchemaVersion = 4
+// artifacts (pipeline canonical keys v4); version 5 invalidates artifacts
+// simulated or synthesized before the timing model's store-queue and
+// dependence-chain changes (pipeline canonical keys v5).
+const SchemaVersion = 5
 
 // Artifact kinds. An entry's kind must match the reader's expectation, so
 // a digest collision between two different artifact types reads as a miss.
